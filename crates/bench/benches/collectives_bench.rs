@@ -1,0 +1,101 @@
+//! Criterion benchmarks of plan generation (the "code generation" cost of
+//! every algorithm) and of end-to-end simulated collectives, including the
+//! ablation over the ramp latency `T_R` and the Two-Phase group size that
+//! DESIGN.md calls out.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use wse_bench::make_inputs;
+use wse_collectives::prelude::*;
+use wse_collectives::reduce::tree_reduce_plan;
+use wse_model::autogen::ReductionTree;
+
+fn bench_plan_generation(c: &mut Criterion) {
+    let machine = Machine::wse2();
+    let mut group = c.benchmark_group("collectives/plan_generation_p256_b256");
+    for pattern in [
+        ReducePattern::Star,
+        ReducePattern::Chain,
+        ReducePattern::Tree,
+        ReducePattern::TwoPhase,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(pattern.name()),
+            &pattern,
+            |bencher, &pattern| {
+                bencher.iter(|| {
+                    black_box(reduce_1d_plan(pattern, 256, 256, ReduceOp::Sum, &machine))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_end_to_end_patterns(c: &mut Criterion) {
+    let machine = Machine::wse2();
+    let mut group = c.benchmark_group("collectives/simulated_reduce_p64_b256");
+    group.sample_size(10);
+    for pattern in [ReducePattern::Chain, ReducePattern::TwoPhase, ReducePattern::AutoGen] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(pattern.name()),
+            &pattern,
+            |bencher, &pattern| {
+                let plan = reduce_1d_plan(pattern, 64, 256, ReduceOp::Sum, &machine);
+                let inputs = make_inputs(64, 256);
+                bencher.iter(|| {
+                    let outcome = run_plan(&plan, &inputs, &RunConfig::default()).unwrap();
+                    black_box(outcome.runtime_cycles())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Ablation: sensitivity of the simulated runtime to the ramp latency `T_R`
+/// (§8.7 argues that `T_R = 2` is the value that matches the hardware).
+fn bench_ramp_latency_ablation(c: &mut Criterion) {
+    let machine = Machine::wse2();
+    let mut group = c.benchmark_group("collectives/ramp_latency_ablation_chain_p64_b256");
+    group.sample_size(10);
+    for t_r in [1u64, 2, 7] {
+        group.bench_with_input(BenchmarkId::from_parameter(t_r), &t_r, |bencher, &t_r| {
+            let plan = reduce_1d_plan(ReducePattern::Chain, 64, 256, ReduceOp::Sum, &machine);
+            let inputs = make_inputs(64, 256);
+            let config = RunConfig::with_ramp_latency(t_r);
+            bencher.iter(|| {
+                let outcome = run_plan(&plan, &inputs, &config).unwrap();
+                black_box(outcome.runtime_cycles())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: the Two-Phase group size `S` around its default `sqrt(P)`.
+fn bench_two_phase_group_size_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collectives/two_phase_group_size_p64_b256");
+    group.sample_size(10);
+    let path = LinePath::row(GridDim::row(64), 0);
+    for s in [2usize, 4, 8, 16, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(s), &s, |bencher, &s| {
+            let tree = ReductionTree::two_phase(64, s);
+            let plan = tree_reduce_plan(format!("two-phase-s{s}"), &path, &tree, 256, ReduceOp::Sum);
+            let inputs = make_inputs(64, 256);
+            bencher.iter(|| {
+                let outcome = run_plan(&plan, &inputs, &RunConfig::default()).unwrap();
+                black_box(outcome.runtime_cycles())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_plan_generation,
+    bench_end_to_end_patterns,
+    bench_ramp_latency_ablation,
+    bench_two_phase_group_size_ablation
+);
+criterion_main!(benches);

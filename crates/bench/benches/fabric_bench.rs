@@ -1,0 +1,74 @@
+//! Criterion benchmarks of the fabric simulator's raw throughput: how many
+//! simulated cycles per second the engine sustains for representative
+//! traffic patterns.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use wse_bench::make_inputs;
+use wse_collectives::prelude::*;
+
+fn bench_broadcast_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fabric/broadcast_row");
+    group.sample_size(20);
+    for p in [32u32, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |bencher, &p| {
+            let path = LinePath::row(GridDim::row(p), 0);
+            let plan = flood_broadcast_plan(&path, 256, wse_fabric::wavelet::Color::new(0));
+            let inputs = make_inputs(1, 256);
+            bencher.iter(|| {
+                let outcome = run_plan(&plan, &inputs, &RunConfig::default()).unwrap();
+                black_box(outcome.runtime_cycles())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_chain_reduce_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fabric/chain_reduce_row");
+    group.sample_size(10);
+    let machine = Machine::wse2();
+    for (p, b) in [(64u32, 256u32), (128, 256)] {
+        let id = format!("p{p}_b{b}");
+        group.bench_with_input(BenchmarkId::from_parameter(id), &(p, b), |bencher, &(p, b)| {
+            let plan = reduce_1d_plan(ReducePattern::Chain, p, b, ReduceOp::Sum, &machine);
+            let inputs = make_inputs(p as usize, b as usize);
+            bencher.iter(|| {
+                let outcome = run_plan(&plan, &inputs, &RunConfig::default()).unwrap();
+                black_box(outcome.runtime_cycles())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_grid_reduce_simulation(c: &mut Criterion) {
+    let machine = Machine::wse2();
+    let mut group = c.benchmark_group("fabric/xy_two_phase_grid");
+    group.sample_size(10);
+    for side in [8u32, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(side), &side, |bencher, &side| {
+            let dim = GridDim::new(side, side);
+            let plan = reduce_2d_plan(
+                Reduce2dPattern::Xy(ReducePattern::TwoPhase),
+                dim,
+                64,
+                ReduceOp::Sum,
+                &machine,
+            );
+            let inputs = make_inputs(dim.num_pes(), 64);
+            bencher.iter(|| {
+                let outcome = run_plan(&plan, &inputs, &RunConfig::default()).unwrap();
+                black_box(outcome.runtime_cycles())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_broadcast_simulation,
+    bench_chain_reduce_simulation,
+    bench_grid_reduce_simulation
+);
+criterion_main!(benches);

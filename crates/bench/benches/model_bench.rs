@@ -1,0 +1,55 @@
+//! Criterion micro-benchmarks of the performance model itself: evaluating
+//! the closed-form costs, the lower-bound dynamic program and the algorithm
+//! selection used by the figure harnesses.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use wse_model::{costs_1d, costs_2d, lower_bound::LowerBound1d, selection, Machine};
+
+fn bench_closed_form_costs(c: &mut Criterion) {
+    let machine = Machine::wse2();
+    c.bench_function("model/all_1d_costs_p512_b1024", |bencher| {
+        bencher.iter(|| {
+            let p = black_box(512u64);
+            let b = black_box(1024u64);
+            let total = costs_1d::star(p, b).predict(&machine)
+                + costs_1d::chain(p, b).predict(&machine)
+                + costs_1d::tree(p, b).predict(&machine)
+                + costs_1d::two_phase_default(p, b).predict(&machine)
+                + costs_1d::ring_allreduce(p, b).predict(&machine)
+                + costs_2d::snake_reduce(p, p, b, &machine);
+            black_box(total)
+        })
+    });
+}
+
+fn bench_lower_bound(c: &mut Criterion) {
+    let machine = Machine::wse2();
+    let mut group = c.benchmark_group("model/lower_bound_dp");
+    for p in [64u64, 128, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |bencher, &p| {
+            bencher.iter(|| {
+                let lb = LowerBound1d::new(black_box(p));
+                black_box(lb.t_star(256, &machine))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let machine = Machine::wse2();
+    c.bench_function("model/best_fixed_allreduce_sweep", |bencher| {
+        bencher.iter(|| {
+            let mut acc = 0.0;
+            for p in [4u64, 16, 64, 256] {
+                for b in [1u64, 16, 256, 4096] {
+                    acc += selection::best_fixed_allreduce_1d(p, b, &machine).cycles;
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench_closed_form_costs, bench_lower_bound, bench_selection);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Figure 8: speedup of the best fixed 1D AllReduce over Chain+Bcast (the
+//! vendor's approach), and the regions in which each algorithm is the best
+//! fixed choice, for every combination of PE count and vector length.
+
+use wse_bench::print_table;
+use wse_model::selection::{best_fixed_allreduce_1d, AllReduce1dAlgorithm};
+use wse_model::{sweep, Machine};
+
+fn main() {
+    let machine = Machine::wse2();
+    let pe_counts = sweep::figure12_pe_counts();
+    let vector_bytes = sweep::figure1_vector_bytes();
+
+    let header: Vec<String> = std::iter::once("PEs\\bytes".to_string())
+        .chain(vector_bytes.iter().map(|b| sweep::format_bytes(*b)))
+        .collect();
+
+    let mut speedup_rows = Vec::new();
+    let mut region_rows = Vec::new();
+    let mut max_speedup = 0.0f64;
+    let mut ring_region = 0usize;
+
+    for &p in pe_counts.iter().rev() {
+        let mut speedups = vec![format!("{p}x1")];
+        let mut regions = vec![format!("{p}x1")];
+        for &bytes in &vector_bytes {
+            let b = sweep::bytes_to_wavelets(bytes);
+            let best = best_fixed_allreduce_1d(p, b, &machine);
+            let chain = AllReduce1dAlgorithm::ChainBcast.cycles(p, b, &machine, None);
+            let speedup = chain / best.cycles;
+            max_speedup = max_speedup.max(speedup);
+            if best.algorithm == AllReduce1dAlgorithm::Ring {
+                ring_region += 1;
+            }
+            speedups.push(format!("{speedup:.2}"));
+            regions.push(best.algorithm.name().to_string());
+        }
+        speedup_rows.push(speedups);
+        region_rows.push(regions);
+    }
+
+    print_table(
+        "Figure 8: speedup of the best fixed 1D AllReduce over Chain+Bcast (vendor)",
+        &header,
+        &speedup_rows,
+    );
+    print_table(
+        "Figure 8 (regions): best fixed 1D AllReduce algorithm",
+        &header,
+        &region_rows,
+    );
+
+    println!("\n## Summary\n");
+    println!("largest predicted speedup over the vendor Chain+Bcast: {max_speedup:.2}x");
+    println!(
+        "grid points where the Ring is the best fixed algorithm: {ring_region} \
+         (the paper finds a small contention-bound region at few PEs / long vectors)"
+    );
+}

@@ -1,0 +1,56 @@
+//! Figure 10: speedup of the best fixed 2D AllReduce over the X-Y Chain (the
+//! vendor's approach), and the best-algorithm regions, for square grids from
+//! 4×4 to 512×512 and vector lengths from 4 B to 32 KB.
+
+use wse_bench::print_table;
+use wse_model::selection::{best_fixed_allreduce_2d, Reduce2dAlgorithm};
+use wse_model::{sweep, Machine};
+
+fn main() {
+    let machine = Machine::wse2();
+    let sides = sweep::figure13_grid_sides();
+    let vector_bytes = sweep::figure1_vector_bytes();
+
+    let header: Vec<String> = std::iter::once("grid\\bytes".to_string())
+        .chain(vector_bytes.iter().map(|b| sweep::format_bytes(*b)))
+        .collect();
+
+    let mut speedup_rows = Vec::new();
+    let mut region_rows = Vec::new();
+    let mut max_speedup = 0.0f64;
+
+    for &side in sides.iter().rev() {
+        let mut speedups = vec![format!("{side}x{side}")];
+        let mut regions = vec![format!("{side}x{side}")];
+        for &bytes in &vector_bytes {
+            let b = sweep::bytes_to_wavelets(bytes);
+            let best = best_fixed_allreduce_2d(side, side, b, &machine);
+            let chain = Reduce2dAlgorithm::XyChain
+                .allreduce_cycles(side, side, b, &machine, None, None);
+            let speedup = chain / best.cycles;
+            max_speedup = max_speedup.max(speedup);
+            speedups.push(format!("{speedup:.2}"));
+            regions.push(best.algorithm.name().to_string());
+        }
+        speedup_rows.push(speedups);
+        region_rows.push(regions);
+    }
+
+    print_table(
+        "Figure 10: speedup of the best fixed 2D AllReduce over X-Y Chain (vendor)",
+        &header,
+        &speedup_rows,
+    );
+    print_table(
+        "Figure 10 (regions): best fixed 2D AllReduce algorithm",
+        &header,
+        &region_rows,
+    );
+
+    println!("\n## Summary\n");
+    println!("largest predicted speedup over the vendor X-Y Chain: {max_speedup:.2}x");
+    println!(
+        "expected region structure (paper §7.6): Snake for small bandwidth-bound grids, \
+         X-Y Two Phase / X-Y Tree for large grids, X-Y Star only for tiny vectors"
+    );
+}

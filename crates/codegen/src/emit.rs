@@ -1,0 +1,294 @@
+//! Per-PE CSL-like source emission.
+
+use std::fmt::Write as _;
+
+use wse_collectives::CollectivePlan;
+use wse_fabric::geometry::{Coord, Direction};
+use wse_fabric::program::{Instruction, RecvMode, ReduceOp};
+use wse_fabric::router::RouteRule;
+
+/// The generated sources of one plan: one CSL-like module per PE plus a
+/// layout description.
+#[derive(Debug, Clone)]
+pub struct GeneratedSource {
+    /// Name of the plan the sources were generated from.
+    pub plan_name: String,
+    /// `(coordinate, source text)` for every PE that has a program or a
+    /// routing script.
+    pub pe_sources: Vec<(Coord, String)>,
+    /// The layout file describing the rectangle of PEs and which module each
+    /// PE runs.
+    pub layout: String,
+}
+
+impl GeneratedSource {
+    /// Total number of emitted source lines (a rough size metric, handy for
+    /// comparing the complexity of generated schedules).
+    pub fn total_lines(&self) -> usize {
+        self.pe_sources.iter().map(|(_, s)| s.lines().count()).sum::<usize>()
+            + self.layout.lines().count()
+    }
+
+    /// The source of the PE at `at`, if that PE participates in the plan.
+    pub fn source_of(&self, at: Coord) -> Option<&str> {
+        self.pe_sources.iter().find(|(c, _)| *c == at).map(|(_, s)| s.as_str())
+    }
+}
+
+fn direction_name(d: Direction) -> &'static str {
+    match d {
+        Direction::North => "NORTH",
+        Direction::East => "EAST",
+        Direction::South => "SOUTH",
+        Direction::West => "WEST",
+        Direction::Ramp => "RAMP",
+    }
+}
+
+fn op_name(op: ReduceOp) -> &'static str {
+    match op {
+        ReduceOp::Sum => "@fadds",
+        ReduceOp::Max => "@fmaxs",
+        ReduceOp::Min => "@fmins",
+        ReduceOp::Prod => "@fmuls",
+    }
+}
+
+fn write_rule(out: &mut String, rule: &RouteRule, index: usize) {
+    let forwards: Vec<&str> = rule.forward_to.iter().map(direction_name).collect();
+    let advance = if let Some(n) = rule.advance_after {
+        format!("advance after {n} wavelets")
+    } else if rule.advance_on_control {
+        "advance on control wavelet".to_string()
+    } else {
+        "static".to_string()
+    };
+    let _ = writeln!(
+        out,
+        "    .{{ .rx = {}, .tx = {{ {} }} }}, // position {index}: {advance}",
+        direction_name(rule.accept_from),
+        forwards.join(", "),
+    );
+}
+
+fn write_instruction(out: &mut String, idx: usize, instruction: &Instruction) {
+    match instruction {
+        Instruction::Send { color, offset, len, last_control } => {
+            let _ = writeln!(
+                out,
+                "  // step {idx}: stream {len} wavelets of local[{offset}..] on c{}{}",
+                color.id(),
+                if *last_control { " (last wavelet is a control wavelet)" } else { "" },
+            );
+            let _ = writeln!(
+                out,
+                "  @mov32(fabout_dsd(c{}, {len}), mem1d_dsd(&local[{offset}], {len}), .{{ .async = true }});",
+                color.id()
+            );
+        }
+        Instruction::Recv { color, offset, len, mode } => {
+            let _ = writeln!(
+                out,
+                "  // step {idx}: receive {len} wavelets on c{} into local[{offset}..]",
+                color.id()
+            );
+            let verb = match mode {
+                RecvMode::Store => "@mov32".to_string(),
+                RecvMode::Reduce(op) => op_name(*op).to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "  {verb}(mem1d_dsd(&local[{offset}], {len}), fabin_dsd(c{}, {len}), .{{ .async = true }});",
+                color.id()
+            );
+        }
+        Instruction::RecvForward { recv_color, send_color, offset, len, op, keep, .. } => {
+            let _ = writeln!(
+                out,
+                "  // step {idx}: pipelined chain step — combine c{} with local[{offset}..] and forward on c{}{}",
+                recv_color.id(),
+                send_color.id(),
+                if *keep { " (keeping the partial sum)" } else { "" },
+            );
+            let _ = writeln!(
+                out,
+                "  {}(fabout_dsd(c{}, {len}), mem1d_dsd(&local[{offset}], {len}), fabin_dsd(c{}, {len}), .{{ .async = true }});",
+                op_name(*op),
+                send_color.id(),
+                recv_color.id()
+            );
+        }
+        Instruction::Compute { cycles } => {
+            let _ = writeln!(out, "  // step {idx}: calibrated wait ({cycles} one-cycle writes)");
+            let _ = writeln!(out, "  for (@range(u32, {cycles})) |_| {{ scratch = scratch +% 1; }}");
+        }
+        Instruction::Exchange { send_color, send_offset, recv_color, recv_offset, len, mode } => {
+            let verb = match mode {
+                RecvMode::Store => "@mov32",
+                RecvMode::Reduce(op) => op_name(*op),
+            };
+            let _ = writeln!(
+                out,
+                "  // step {idx}: ring exchange — send local[{send_offset}..+{len}] on c{}, receive on c{} into local[{recv_offset}..]",
+                send_color.id(),
+                recv_color.id()
+            );
+            let _ = writeln!(
+                out,
+                "  @mov32(fabout_dsd(c{}, {len}), mem1d_dsd(&local[{send_offset}], {len}), .{{ .async = true }});",
+                send_color.id()
+            );
+            let _ = writeln!(
+                out,
+                "  {verb}(mem1d_dsd(&local[{recv_offset}], {len}), fabin_dsd(c{}, {len}), .{{ .async = true }});",
+                recv_color.id()
+            );
+        }
+    }
+}
+
+/// Emit the CSL-like source of a single PE of a plan.
+pub fn emit_pe_source(plan: &CollectivePlan, at: Coord) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "// Generated by wse-codegen from plan \"{}\"", plan.name());
+    let _ = writeln!(out, "// PE ({}, {}) of a {}x{} rectangle", at.x, at.y, plan.dim().width, plan.dim().height);
+    let _ = writeln!(out);
+
+    let scripts = plan.scripts(at);
+    for (color, _) in scripts {
+        let _ = writeln!(out, "const c{}: color = @get_color({});", color.id(), color.id());
+    }
+    if !scripts.is_empty() {
+        let _ = writeln!(out);
+    }
+    for (color, script) in scripts {
+        let _ = writeln!(
+            out,
+            "comptime {{ // routing configurations for c{} ({} position(s))",
+            color.id(),
+            script.len()
+        );
+        let _ = writeln!(out, "  @set_local_color_config(c{}, .{{ .routes = .{{", color.id());
+        for (i, rule) in script.rules().iter().enumerate() {
+            write_rule(&mut out, rule, i);
+        }
+        let _ = writeln!(out, "  }} }});");
+        let _ = writeln!(out, "}}");
+        let _ = writeln!(out);
+    }
+
+    let program = plan.program(at);
+    let _ = writeln!(out, "var local = @zeros([{}]f32);", plan.vector_len().max(program.required_memory()));
+    let _ = writeln!(out, "var scratch: u32 = 0;");
+    let _ = writeln!(out);
+    let _ = writeln!(out, "task collective_task() void {{");
+    if program.is_empty() {
+        let _ = writeln!(out, "  // This PE only forwards wavelets; the processor stays idle.");
+    }
+    for (idx, instruction) in program.instructions().iter().enumerate() {
+        write_instruction(&mut out, idx, instruction);
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Emit the sources of every participating PE of a plan, plus the layout.
+pub fn emit_plan(plan: &CollectivePlan) -> GeneratedSource {
+    let dim = plan.dim();
+    let mut pe_sources = Vec::new();
+    for c in dim.iter() {
+        if plan.program(c).is_empty() && plan.scripts(c).is_empty() {
+            continue;
+        }
+        pe_sources.push((c, emit_pe_source(plan, c)));
+    }
+    GeneratedSource {
+        plan_name: plan.name().to_string(),
+        layout: crate::layout::emit_layout(plan),
+        pe_sources,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wse_collectives::prelude::*;
+
+    fn machine() -> Machine {
+        Machine::wse2()
+    }
+
+    #[test]
+    fn emits_one_module_per_participating_pe() {
+        let plan = reduce_1d_plan(ReducePattern::TwoPhase, 9, 16, ReduceOp::Sum, &machine());
+        let generated = emit_plan(&plan);
+        assert_eq!(generated.pe_sources.len(), 9);
+        assert_eq!(generated.plan_name, plan.name());
+        assert!(generated.total_lines() > 9 * 5);
+    }
+
+    #[test]
+    fn root_source_contains_reduce_ops_and_leaf_contains_send() {
+        let plan = reduce_1d_plan(ReducePattern::Chain, 6, 8, ReduceOp::Sum, &machine());
+        let generated = emit_plan(&plan);
+        let root = generated.source_of(Coord::new(0, 0)).unwrap();
+        assert!(root.contains("@fadds"), "root must accumulate: {root}");
+        assert!(root.contains("fabin_dsd"));
+        let leaf = generated.source_of(Coord::new(5, 0)).unwrap();
+        assert!(leaf.contains("fabout_dsd"), "rightmost PE must send: {leaf}");
+        // Interior PEs use the pipelined chain step.
+        let mid = generated.source_of(Coord::new(3, 0)).unwrap();
+        assert!(mid.contains("pipelined chain step"));
+    }
+
+    #[test]
+    fn different_patterns_generate_different_code() {
+        let m = machine();
+        let star = emit_plan(&reduce_1d_plan(ReducePattern::Star, 8, 32, ReduceOp::Sum, &m));
+        let chain = emit_plan(&reduce_1d_plan(ReducePattern::Chain, 8, 32, ReduceOp::Sum, &m));
+        assert_ne!(
+            star.source_of(Coord::new(0, 0)),
+            chain.source_of(Coord::new(0, 0)),
+            "star and chain roots must differ"
+        );
+    }
+
+    #[test]
+    fn emission_is_deterministic() {
+        let m = machine();
+        let a = emit_plan(&reduce_1d_plan(ReducePattern::AutoGen, 12, 64, ReduceOp::Sum, &m));
+        let b = emit_plan(&reduce_1d_plan(ReducePattern::AutoGen, 12, 64, ReduceOp::Sum, &m));
+        assert_eq!(a.pe_sources, b.pe_sources);
+        assert_eq!(a.layout, b.layout);
+    }
+
+    #[test]
+    fn ring_exchange_and_measurement_wait_are_emitted() {
+        let plan = allreduce_1d_plan(AllReducePattern::Ring, 4, 16, ReduceOp::Sum, &machine());
+        let generated = emit_plan(&plan);
+        let any = generated.source_of(Coord::new(1, 0)).unwrap();
+        assert!(any.contains("ring exchange"));
+
+        let ops = [ReduceOp::Max, ReduceOp::Min, ReduceOp::Prod];
+        for op in ops {
+            let plan = reduce_1d_plan(ReducePattern::Tree, 4, 4, op, &machine());
+            let generated = emit_plan(&plan);
+            let root = generated.source_of(Coord::new(0, 0)).unwrap();
+            assert!(root.contains(op_name(op)));
+        }
+    }
+
+    #[test]
+    fn broadcast_only_pes_still_get_router_configs() {
+        let plan = flood_broadcast_plan(
+            &LinePath::row(GridDim::row(5), 0),
+            8,
+            wse_fabric::wavelet::Color::new(3),
+        );
+        let generated = emit_plan(&plan);
+        for x in 0..5 {
+            let src = generated.source_of(Coord::new(x, 0)).unwrap();
+            assert!(src.contains("@set_local_color_config"));
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! # wse-codegen — CSL-like source emission for generated collective schedules
+//!
+//! The paper implements its collectives in CSL (the Cerebras SDK's language)
+//! and, for the Auto-Gen Reduce, generates the per-PE source code and router
+//! configurations from a Python program (§5.5, §8.2). Without the
+//! proprietary toolchain this crate reproduces the *code generation* step:
+//! it turns a [`wse_collectives::CollectivePlan`] — the same structure every
+//! algorithm in this reproduction compiles to — into human-readable CSL-like
+//! source text, one module per PE plus a layout file, mirroring what the
+//! paper's generator emits.
+//!
+//! The emitted text is a faithful, reviewable description of the schedule
+//! (colors, routing rules, vectorised operations); it is *not* fed to a real
+//! CSL compiler. The executable form of the same plan runs on the
+//! `wse-fabric` simulator.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod emit;
+pub mod layout;
+
+pub use emit::{emit_pe_source, emit_plan, GeneratedSource};
+pub use layout::emit_layout;

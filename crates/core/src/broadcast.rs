@@ -1,0 +1,225 @@
+//! Flooding Broadcast plans (§4.2 and §7.1).
+//!
+//! Multicast support makes broadcasting as cheap as sending a single
+//! message: the root streams its vector once and every router duplicates the
+//! stream to its own processor and onwards. The 1D variant floods along a
+//! [`LinePath`]; the 2D variant floods along the root's row and lets every
+//! router of that row additionally feed its column.
+
+use wse_fabric::geometry::{Coord, Direction, DirectionSet, GridDim};
+use wse_fabric::router::RouteRule;
+use wse_fabric::wavelet::Color;
+
+use crate::path::LinePath;
+use crate::plan::CollectivePlan;
+
+/// Append a flooding broadcast from the path's root along the path.
+///
+/// The root sends `vector_len` elements starting at local offset `offset`;
+/// every other PE on the path stores the stream at the same offset.
+pub fn append_flood_broadcast(
+    plan: &mut CollectivePlan,
+    path: &LinePath,
+    vector_len: u32,
+    offset: u32,
+    color: Color,
+) {
+    let n = path.len();
+    if n <= 1 {
+        return;
+    }
+    // Root: stream the vector away from itself.
+    plan.program_mut(path.root()).send(color, offset, vector_len);
+    plan.push_rule(
+        path.root(),
+        color,
+        RouteRule::counted(
+            Direction::Ramp,
+            DirectionSet::single(path.away_from_root(0)),
+            vector_len as u64,
+        ),
+    );
+    // Every other PE: deliver to the processor and keep flooding outwards.
+    for pos in 1..n {
+        let at = path.coord(pos);
+        let mut forward = DirectionSet::single(Direction::Ramp);
+        if pos + 1 < n {
+            forward = forward.with(path.away_from_root(pos));
+        }
+        plan.push_rule(
+            at,
+            color,
+            RouteRule::counted(path.towards_root(pos), forward, vector_len as u64),
+        );
+        plan.program_mut(at).recv_store(color, offset, vector_len);
+    }
+}
+
+/// Build a stand-alone 1D broadcast plan along a path.
+pub fn flood_broadcast_plan(path: &LinePath, vector_len: u32, color: Color) -> CollectivePlan {
+    let mut plan = CollectivePlan::new(
+        format!("broadcast-1d-p{}", path.len()),
+        path.dim(),
+        path.root(),
+        vector_len,
+    );
+    append_flood_broadcast(&mut plan, path, vector_len, 0, color);
+    plan.add_data_pe(path.root());
+    for c in path.coords() {
+        plan.add_result_pe(*c);
+    }
+    plan
+}
+
+/// Append a 2D flooding broadcast from the grid's north-west corner `(0, 0)`
+/// (§7.1): the stream floods eastwards along row 0 while every router of
+/// row 0 simultaneously feeds its column southwards.
+pub fn append_flood_broadcast_2d(
+    plan: &mut CollectivePlan,
+    dim: GridDim,
+    vector_len: u32,
+    offset: u32,
+    color: Color,
+) {
+    let root = Coord::new(0, 0);
+    if dim.num_pes() <= 1 {
+        return;
+    }
+    let count = vector_len as u64;
+    plan.program_mut(root).send(color, offset, vector_len);
+    let mut root_forward = DirectionSet::EMPTY;
+    if dim.width > 1 {
+        root_forward = root_forward.with(Direction::East);
+    }
+    if dim.height > 1 {
+        root_forward = root_forward.with(Direction::South);
+    }
+    plan.push_rule(root, color, RouteRule::counted(Direction::Ramp, root_forward, count));
+
+    for c in dim.iter() {
+        if c == root {
+            continue;
+        }
+        let mut forward = DirectionSet::single(Direction::Ramp);
+        let accept_from = if c.y == 0 {
+            // Row 0: flood eastwards and feed the column below.
+            if c.x + 1 < dim.width {
+                forward = forward.with(Direction::East);
+            }
+            if dim.height > 1 {
+                forward = forward.with(Direction::South);
+            }
+            Direction::West
+        } else {
+            // Other rows: keep flooding southwards.
+            if c.y + 1 < dim.height {
+                forward = forward.with(Direction::South);
+            }
+            Direction::North
+        };
+        plan.push_rule(c, color, RouteRule::counted(accept_from, forward, count));
+        plan.program_mut(c).recv_store(color, offset, vector_len);
+    }
+}
+
+/// Build a stand-alone 2D broadcast plan over the whole grid.
+pub fn flood_broadcast_2d_plan(dim: GridDim, vector_len: u32, color: Color) -> CollectivePlan {
+    let mut plan = CollectivePlan::new(
+        format!("broadcast-2d-{}x{}", dim.height, dim.width),
+        dim,
+        Coord::new(0, 0),
+        vector_len,
+    );
+    append_flood_broadcast_2d(&mut plan, dim, vector_len, 0, color);
+    plan.add_data_pe(Coord::new(0, 0));
+    for c in dim.iter() {
+        plan.add_result_pe(c);
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run_plan, RunConfig};
+
+    #[test]
+    fn row_broadcast_reaches_every_pe() {
+        let dim = GridDim::row(9);
+        let path = LinePath::row(dim, 0);
+        let b = 12;
+        let plan = flood_broadcast_plan(&path, b, Color::new(2));
+        let data: Vec<f32> = (0..b).map(|i| i as f32 * 1.5).collect();
+        let outcome = run_plan(&plan, &[data.clone()], &RunConfig::default()).unwrap();
+        assert_eq!(outcome.outputs.len(), 9);
+        for (_, out) in &outcome.outputs {
+            assert_eq!(out, &data);
+        }
+        // Energy equals one message: B wavelets over P-1 links.
+        assert_eq!(outcome.report.energy_hops, (b as u64) * 8);
+    }
+
+    #[test]
+    fn broadcast_runtime_matches_model_shape() {
+        // T_Bcast = B + P + 2 T_R (§4.2); the simulator adds a small constant.
+        let dim = GridDim::row(32);
+        let path = LinePath::row(dim, 0);
+        let b = 128;
+        let plan = flood_broadcast_plan(&path, b, Color::new(0));
+        let data: Vec<f32> = (0..b).map(|i| i as f32).collect();
+        let outcome = run_plan(&plan, &[data], &RunConfig::default()).unwrap();
+        let measured = outcome.runtime_cycles() as f64;
+        let model = (b + 32 + 4) as f64;
+        assert!((measured - model).abs() / model < 0.25, "measured {measured}, model {model}");
+    }
+
+    #[test]
+    fn grid_broadcast_reaches_every_pe() {
+        let dim = GridDim::new(5, 4);
+        let b = 7;
+        let plan = flood_broadcast_2d_plan(dim, b, Color::new(4));
+        let data: Vec<f32> = (0..b).map(|i| (i as f32).sin()).collect();
+        let outcome = run_plan(&plan, &[data.clone()], &RunConfig::default()).unwrap();
+        assert_eq!(outcome.outputs.len(), 20);
+        for (_, out) in &outcome.outputs {
+            assert_eq!(out, &data);
+        }
+        // Energy: every PE except the root receives the stream over exactly
+        // one incoming link, so hops = B · (P - 1).
+        assert_eq!(outcome.report.energy_hops, (b as u64) * 19);
+    }
+
+    #[test]
+    fn grid_broadcast_handles_degenerate_shapes() {
+        for (w, h) in [(1u32, 6u32), (6, 1), (1, 1)] {
+            let dim = GridDim::new(w, h);
+            let b = 3;
+            let plan = flood_broadcast_2d_plan(dim, b, Color::new(1));
+            let data = vec![2.5f32; b as usize];
+            let outcome = run_plan(&plan, &[data.clone()], &RunConfig::default()).unwrap();
+            for (_, out) in &outcome.outputs {
+                assert_eq!(out, &data);
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_at_offset_preserves_other_memory() {
+        // Used by AllReduce: the reduced vector is broadcast back into the
+        // same local offset on every PE.
+        let dim = GridDim::row(4);
+        let path = LinePath::row(dim, 0);
+        let b = 4;
+        let mut plan = CollectivePlan::new("offset-bcast", dim, path.root(), b);
+        append_flood_broadcast(&mut plan, &path, b, 0, Color::new(3));
+        plan.add_data_pe(path.root());
+        for c in path.coords() {
+            plan.add_result_pe(*c);
+        }
+        let data = vec![9.0f32, 8.0, 7.0, 6.0];
+        let outcome = run_plan(&plan, &[data.clone()], &RunConfig::default()).unwrap();
+        for (_, out) in &outcome.outputs {
+            assert_eq!(out, &data);
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! # wse-collectives — near-optimal wafer-scale Reduce, AllReduce and Broadcast
+//!
+//! This crate is the primary contribution of the *Near-Optimal Wafer-Scale
+//! Reduce* (HPDC 2024) reproduction: executable implementations of every
+//! collective the paper designs and evaluates, targeting the cycle-level
+//! mesh simulator of `wse-fabric` and driven by the performance model of
+//! `wse-model`.
+//!
+//! ## What is implemented
+//!
+//! * **1D Broadcast** — the flooding broadcast of §4.2, which multicast makes
+//!   as cheap as a single message ([`broadcast`]).
+//! * **1D Reduce** — Star (§5.1), Chain (§5.2, the vendor pattern), binary
+//!   Tree (§5.3), Two-Phase (§5.4) and the model-generated Auto-Gen schedule
+//!   (§5.5), all compiled through a single reduction-tree-to-plan code
+//!   generator ([`reduce`], [`tree_plan`]).
+//! * **1D AllReduce** — Reduce-then-Broadcast (§6.1) and the Ring (§6.2)
+//!   ([`allreduce`]).
+//! * **2D collectives** — the 2D flooding broadcast (§7.1), X-Y Reduce
+//!   (§7.2), Snake Reduce (§7.3) and 2D AllReduce (§7.4).
+//! * **Model-driven selection** — picking the best algorithm for a given
+//!   `(P, B)` from the performance model and generating its plan
+//!   ([`select`]).
+//! * **Measurement methodology** — the clock-synchronised, calibrated timing
+//!   procedure of §8.3, run against simulated clock skew and thermal noise
+//!   ([`measured`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use wse_collectives::prelude::*;
+//!
+//! // Reduce 1 KiB vectors (256 f32 values) across a row of 16 PEs with the
+//! // Two-Phase schedule.
+//! let machine = Machine::wse2();
+//! let plan = reduce_1d_plan(ReducePattern::TwoPhase, 16, 256, ReduceOp::Sum, &machine);
+//!
+//! let inputs: Vec<Vec<f32>> = (0..16).map(|i| vec![i as f32; 256]).collect();
+//! let outcome = run_plan(&plan, &inputs, &RunConfig::default()).unwrap();
+//!
+//! let expected = expected_reduce(&inputs, ReduceOp::Sum);
+//! assert_outputs_close(&outcome, &expected, 1e-4);
+//! println!("runtime: {} cycles", outcome.runtime_cycles());
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod allreduce;
+pub mod broadcast;
+pub mod measured;
+pub mod path;
+pub mod plan;
+pub mod reduce;
+pub mod runner;
+pub mod select;
+pub mod tree_plan;
+
+pub use allreduce::{
+    allreduce_1d_plan, allreduce_2d_plan, ring_allreduce_plan, xy_allreduce_2d_plan,
+    AllReducePattern,
+};
+pub use broadcast::{flood_broadcast_2d_plan, flood_broadcast_plan};
+pub use measured::{measured_run, MeasureConfig, MeasuredRun};
+pub use path::LinePath;
+pub use plan::CollectivePlan;
+pub use reduce::{reduce_1d_plan, reduce_2d_plan, Reduce2dPattern, ReducePattern};
+pub use runner::{
+    assert_outputs_close, expected_reduce, max_relative_error, run_plan, RunConfig, RunOutcome,
+};
+pub use select::{
+    select_allreduce_1d, select_allreduce_2d, select_reduce_1d, select_reduce_2d, SelectedPlan,
+};
+
+/// Convenience re-exports for applications.
+pub mod prelude {
+    pub use crate::allreduce::{allreduce_1d_plan, allreduce_2d_plan, AllReducePattern};
+    pub use crate::broadcast::{flood_broadcast_2d_plan, flood_broadcast_plan};
+    pub use crate::path::LinePath;
+    pub use crate::plan::CollectivePlan;
+    pub use crate::reduce::{reduce_1d_plan, reduce_2d_plan, Reduce2dPattern, ReducePattern};
+    pub use crate::runner::{
+        assert_outputs_close, expected_reduce, run_plan, RunConfig, RunOutcome,
+    };
+    pub use crate::select::{
+        select_allreduce_1d, select_allreduce_2d, select_reduce_1d, select_reduce_2d,
+    };
+    pub use wse_fabric::geometry::{Coord, GridDim};
+    pub use wse_fabric::program::ReduceOp;
+    pub use wse_model::Machine;
+}

@@ -1,0 +1,220 @@
+//! Linear embeddings of collectives into the grid.
+//!
+//! All 1D collectives of the paper operate on a *line* of PEs: a row, a
+//! column, or — for the Snake Reduce of §7.3 — a boustrophedon path covering
+//! the whole grid. A [`LinePath`] is an ordered list of grid coordinates,
+//! position 0 being the root, in which consecutive positions are adjacent in
+//! the mesh. Plan builders lay communication out along such a path, so the
+//! same code realises row, column and snake variants of every pattern.
+
+use wse_fabric::geometry::{Coord, Direction, GridDim};
+
+/// An ordered, mesh-adjacent list of PE coordinates; position 0 is the root.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinePath {
+    dim: GridDim,
+    coords: Vec<Coord>,
+}
+
+impl LinePath {
+    /// Build a path from explicit coordinates, validating adjacency and
+    /// uniqueness.
+    pub fn new(dim: GridDim, coords: Vec<Coord>) -> Result<Self, String> {
+        if coords.is_empty() {
+            return Err("a path must contain at least one PE".into());
+        }
+        for c in &coords {
+            if !dim.contains(*c) {
+                return Err(format!("coordinate {c} lies outside the {}x{} grid", dim.width, dim.height));
+            }
+        }
+        for w in coords.windows(2) {
+            if dim.manhattan(w[0], w[1]) != 1 {
+                return Err(format!("path positions {} and {} are not adjacent", w[0], w[1]));
+            }
+        }
+        let mut seen = vec![false; dim.num_pes()];
+        for c in &coords {
+            let idx = dim.index(*c);
+            if seen[idx] {
+                return Err(format!("coordinate {c} appears twice in the path"));
+            }
+            seen[idx] = true;
+        }
+        Ok(LinePath { dim, coords })
+    }
+
+    /// A full row of the grid, rooted at the leftmost PE (`x = 0`).
+    pub fn row(dim: GridDim, y: u32) -> Self {
+        assert!(y < dim.height, "row {y} outside the grid");
+        let coords = (0..dim.width).map(|x| Coord::new(x, y)).collect();
+        LinePath { dim, coords }
+    }
+
+    /// A prefix of a row: the `len` leftmost PEs of row `y`.
+    pub fn row_prefix(dim: GridDim, y: u32, len: u32) -> Self {
+        assert!(y < dim.height && len >= 1 && len <= dim.width);
+        let coords = (0..len).map(|x| Coord::new(x, y)).collect();
+        LinePath { dim, coords }
+    }
+
+    /// A full column of the grid, rooted at the topmost PE (`y = 0`).
+    pub fn column(dim: GridDim, x: u32) -> Self {
+        assert!(x < dim.width, "column {x} outside the grid");
+        let coords = (0..dim.height).map(|y| Coord::new(x, y)).collect();
+        LinePath { dim, coords }
+    }
+
+    /// The boustrophedon (snake) path over the whole grid used by the Snake
+    /// Reduce (§7.3): row 0 west→east, row 1 east→west, and so on, rooted at
+    /// `(0, 0)`.
+    pub fn snake(dim: GridDim) -> Self {
+        let mut coords = Vec::with_capacity(dim.num_pes());
+        for y in 0..dim.height {
+            if y % 2 == 0 {
+                for x in 0..dim.width {
+                    coords.push(Coord::new(x, y));
+                }
+            } else {
+                for x in (0..dim.width).rev() {
+                    coords.push(Coord::new(x, y));
+                }
+            }
+        }
+        LinePath { dim, coords }
+    }
+
+    /// The grid the path is embedded in.
+    pub fn dim(&self) -> GridDim {
+        self.dim
+    }
+
+    /// Number of PEs on the path.
+    pub fn len(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Whether the path is a single PE.
+    pub fn is_empty(&self) -> bool {
+        self.coords.is_empty()
+    }
+
+    /// The coordinate at a path position.
+    pub fn coord(&self, position: usize) -> Coord {
+        self.coords[position]
+    }
+
+    /// The root coordinate (path position 0).
+    pub fn root(&self) -> Coord {
+        self.coords[0]
+    }
+
+    /// All coordinates in path order.
+    pub fn coords(&self) -> &[Coord] {
+        &self.coords
+    }
+
+    /// The mesh direction leading from path position `from` towards path
+    /// position `from - 1` (one step closer to the root).
+    pub fn towards_root(&self, from: usize) -> Direction {
+        assert!(from >= 1 && from < self.coords.len());
+        direction_between(self.coords[from], self.coords[from - 1])
+    }
+
+    /// The mesh direction leading from path position `from` towards path
+    /// position `from + 1` (one step away from the root).
+    pub fn away_from_root(&self, from: usize) -> Direction {
+        assert!(from + 1 < self.coords.len());
+        direction_between(self.coords[from], self.coords[from + 1])
+    }
+}
+
+/// The direction of travel from `a` to an adjacent coordinate `b`.
+pub fn direction_between(a: Coord, b: Coord) -> Direction {
+    if b.x == a.x + 1 && b.y == a.y {
+        Direction::East
+    } else if a.x == b.x + 1 && a.y == b.y {
+        Direction::West
+    } else if b.y == a.y + 1 && b.x == a.x {
+        Direction::South
+    } else if a.y == b.y + 1 && b.x == a.x {
+        Direction::North
+    } else {
+        panic!("{a} and {b} are not adjacent");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_and_column_paths() {
+        let dim = GridDim::new(6, 4);
+        let row = LinePath::row(dim, 2);
+        assert_eq!(row.len(), 6);
+        assert_eq!(row.root(), Coord::new(0, 2));
+        assert_eq!(row.towards_root(3), Direction::West);
+        assert_eq!(row.away_from_root(3), Direction::East);
+
+        let col = LinePath::column(dim, 5);
+        assert_eq!(col.len(), 4);
+        assert_eq!(col.root(), Coord::new(5, 0));
+        assert_eq!(col.towards_root(1), Direction::North);
+        assert_eq!(col.away_from_root(0), Direction::South);
+    }
+
+    #[test]
+    fn row_prefix_limits_length() {
+        let dim = GridDim::new(8, 1);
+        let p = LinePath::row_prefix(dim, 0, 5);
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.coord(4), Coord::new(4, 0));
+    }
+
+    #[test]
+    fn snake_path_covers_grid_and_alternates() {
+        let dim = GridDim::new(4, 3);
+        let snake = LinePath::snake(dim);
+        assert_eq!(snake.len(), 12);
+        assert_eq!(snake.root(), Coord::new(0, 0));
+        // End of row 0 connects downwards, row 1 runs east to west.
+        assert_eq!(snake.coord(3), Coord::new(3, 0));
+        assert_eq!(snake.coord(4), Coord::new(3, 1));
+        assert_eq!(snake.coord(7), Coord::new(0, 1));
+        assert_eq!(snake.coord(8), Coord::new(0, 2));
+        // Adjacency holds everywhere (validated by constructing via `new`).
+        assert!(LinePath::new(dim, snake.coords().to_vec()).is_ok());
+    }
+
+    #[test]
+    fn invalid_paths_are_rejected() {
+        let dim = GridDim::new(4, 4);
+        // Not adjacent.
+        assert!(LinePath::new(dim, vec![Coord::new(0, 0), Coord::new(2, 0)]).is_err());
+        // Outside the grid.
+        assert!(LinePath::new(dim, vec![Coord::new(5, 0)]).is_err());
+        // Duplicate.
+        assert!(LinePath::new(
+            dim,
+            vec![Coord::new(0, 0), Coord::new(1, 0), Coord::new(0, 0)]
+        )
+        .is_err());
+        // Empty.
+        assert!(LinePath::new(dim, vec![]).is_err());
+    }
+
+    #[test]
+    fn direction_between_adjacent_coords() {
+        assert_eq!(direction_between(Coord::new(1, 1), Coord::new(2, 1)), Direction::East);
+        assert_eq!(direction_between(Coord::new(1, 1), Coord::new(0, 1)), Direction::West);
+        assert_eq!(direction_between(Coord::new(1, 1), Coord::new(1, 2)), Direction::South);
+        assert_eq!(direction_between(Coord::new(1, 1), Coord::new(1, 0)), Direction::North);
+    }
+
+    #[test]
+    #[should_panic]
+    fn direction_between_non_adjacent_panics() {
+        let _ = direction_between(Coord::new(0, 0), Coord::new(2, 2));
+    }
+}

@@ -1,0 +1,291 @@
+//! Executable collective plans: per-PE programs plus router scripts.
+//!
+//! A [`CollectivePlan`] is the output of "code generation" for one
+//! collective on one set of parameters: for every PE it holds the program
+//! the processor runs and the routing scripts its router needs, exactly like
+//! the per-PE CSL sources and routing configurations the paper's generator
+//! emits. Plans are built by the algorithm modules of this crate and
+//! executed on the `wse-fabric` simulator by [`crate::runner`].
+
+use std::collections::BTreeSet;
+
+use wse_fabric::geometry::{Coord, GridDim};
+use wse_fabric::program::PeProgram;
+use wse_fabric::router::{ColorScript, RouteRule};
+use wse_fabric::wavelet::Color;
+use wse_fabric::Fabric;
+
+/// A fully generated collective schedule, ready to be applied to a fabric.
+#[derive(Debug, Clone)]
+pub struct CollectivePlan {
+    name: String,
+    dim: GridDim,
+    root: Coord,
+    vector_len: u32,
+    programs: Vec<PeProgram>,
+    scripts: Vec<Vec<(Color, ColorScript)>>,
+    data_pes: Vec<Coord>,
+    result_pes: Vec<Coord>,
+}
+
+impl CollectivePlan {
+    /// An empty plan for a grid, rooted at `root`, operating on vectors of
+    /// `vector_len` wavelets.
+    pub fn new(name: impl Into<String>, dim: GridDim, root: Coord, vector_len: u32) -> Self {
+        assert!(dim.contains(root), "root {root} outside the grid");
+        assert!(vector_len >= 1, "collectives operate on at least one wavelet");
+        CollectivePlan {
+            name: name.into(),
+            dim,
+            root,
+            vector_len,
+            programs: vec![PeProgram::new(); dim.num_pes()],
+            scripts: vec![Vec::new(); dim.num_pes()],
+            data_pes: Vec::new(),
+            result_pes: Vec::new(),
+        }
+    }
+
+    /// Human-readable name (used by the benchmark harnesses).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The grid the plan targets.
+    pub fn dim(&self) -> GridDim {
+        self.dim
+    }
+
+    /// The root PE of the collective.
+    pub fn root(&self) -> Coord {
+        self.root
+    }
+
+    /// Vector length in wavelets (32-bit elements) per participating PE.
+    pub fn vector_len(&self) -> u32 {
+        self.vector_len
+    }
+
+    /// The PEs that contribute an input vector.
+    pub fn data_pes(&self) -> &[Coord] {
+        &self.data_pes
+    }
+
+    /// The PEs that hold the result after the collective.
+    pub fn result_pes(&self) -> &[Coord] {
+        &self.result_pes
+    }
+
+    /// Declare a PE as holding input data.
+    pub fn add_data_pe(&mut self, at: Coord) {
+        debug_assert!(self.dim.contains(at));
+        self.data_pes.push(at);
+    }
+
+    /// Declare a PE as holding the result after the collective.
+    pub fn add_result_pe(&mut self, at: Coord) {
+        debug_assert!(self.dim.contains(at));
+        self.result_pes.push(at);
+    }
+
+    /// Remove all result-PE declarations (used when a composition changes
+    /// where the result lives, e.g. Reduce extended to AllReduce).
+    pub fn clear_result_pes(&mut self) {
+        self.result_pes.clear();
+    }
+
+    /// Mutable access to the program of a PE.
+    pub fn program_mut(&mut self, at: Coord) -> &mut PeProgram {
+        let idx = self.dim.index(at);
+        &mut self.programs[idx]
+    }
+
+    /// The program of a PE.
+    pub fn program(&self, at: Coord) -> &PeProgram {
+        &self.programs[self.dim.index(at)]
+    }
+
+    /// Append a routing rule to the script of `color` at `at` (creating the
+    /// script if necessary). Rules are applied by the router in the order
+    /// they are appended.
+    pub fn push_rule(&mut self, at: Coord, color: Color, rule: RouteRule) {
+        let idx = self.dim.index(at);
+        let scripts = &mut self.scripts[idx];
+        if let Some((_, script)) = scripts.iter_mut().find(|(c, _)| *c == color) {
+            script.push(rule);
+        } else {
+            scripts.push((color, ColorScript::new(vec![rule])));
+        }
+    }
+
+    /// The routing scripts of a PE.
+    pub fn scripts(&self, at: Coord) -> &[(Color, ColorScript)] {
+        &self.scripts[self.dim.index(at)]
+    }
+
+    /// Replace the most recently appended rule of `color` at `at` (used by
+    /// plan builders to merge adjacent identical rules).
+    pub fn replace_last_rule(&mut self, at: Coord, color: Color, rule: RouteRule) {
+        let idx = self.dim.index(at);
+        let (_, script) = self.scripts[idx]
+            .iter_mut()
+            .find(|(c, _)| *c == color)
+            .expect("replace_last_rule: no script for this color");
+        let mut rules = script.rules().to_vec();
+        *rules.last_mut().expect("replace_last_rule: empty script") = rule;
+        *script = ColorScript::new(rules);
+    }
+
+    /// The set of colors the plan uses anywhere.
+    pub fn colors_used(&self) -> BTreeSet<Color> {
+        let mut colors = BTreeSet::new();
+        for scripts in &self.scripts {
+            for (c, _) in scripts {
+                colors.insert(*c);
+            }
+        }
+        colors
+    }
+
+    /// Total number of wavelets injected by all PE programs.
+    pub fn total_wavelets_sent(&self) -> u64 {
+        self.programs.iter().map(PeProgram::total_sent).sum()
+    }
+
+    /// Total number of wavelets consumed by all PE programs.
+    pub fn total_wavelets_received(&self) -> u64 {
+        self.programs.iter().map(PeProgram::total_received).sum()
+    }
+
+    /// Install the plan's programs and routing scripts on a fabric.
+    ///
+    /// Input data is *not* installed here; see [`crate::runner::run_plan`].
+    pub fn apply(&self, fabric: &mut Fabric) {
+        assert_eq!(fabric.dim(), self.dim, "plan and fabric dimensions differ");
+        for i in 0..self.dim.num_pes() {
+            let at = self.dim.coord(i);
+            fabric.set_program(at, &self.programs[i]);
+            for (color, script) in &self.scripts[i] {
+                fabric.set_router_script(at, *color, script.clone());
+            }
+        }
+    }
+
+    /// Sequentially compose two plans (e.g. Reduce followed by Broadcast).
+    ///
+    /// The phases must use disjoint colors so their routing scripts cannot
+    /// interfere; each PE simply runs the first phase's program followed by
+    /// the second phase's.
+    pub fn then(mut self, other: &CollectivePlan, name: impl Into<String>) -> CollectivePlan {
+        assert_eq!(self.dim, other.dim, "composed plans must share the grid");
+        assert_eq!(
+            self.vector_len, other.vector_len,
+            "composed plans must share the vector length"
+        );
+        let own_colors = self.colors_used();
+        let other_colors = other.colors_used();
+        assert!(
+            own_colors.is_disjoint(&other_colors),
+            "composed plans must use disjoint colors ({:?} vs {:?})",
+            own_colors,
+            other_colors
+        );
+        for i in 0..self.dim.num_pes() {
+            for instruction in other.programs[i].instructions() {
+                self.programs[i].push(*instruction);
+            }
+            for (color, script) in &other.scripts[i] {
+                for rule in script.rules() {
+                    let at = self.dim.coord(i);
+                    self.push_rule(at, *color, *rule);
+                }
+            }
+        }
+        self.name = name.into();
+        self.result_pes = other.result_pes.clone();
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wse_fabric::geometry::{Direction, DirectionSet};
+    use wse_fabric::program::ReduceOp;
+    use wse_fabric::FabricParams;
+
+    fn simple_plan(name: &str, color: u8) -> CollectivePlan {
+        let dim = GridDim::row(2);
+        let c = Color::new(color);
+        let mut plan = CollectivePlan::new(name, dim, Coord::new(0, 0), 4);
+        plan.program_mut(Coord::new(1, 0)).send(c, 0, 4);
+        plan.program_mut(Coord::new(0, 0)).recv_reduce(c, 0, 4, ReduceOp::Sum);
+        plan.push_rule(
+            Coord::new(1, 0),
+            c,
+            RouteRule::forever(Direction::Ramp, DirectionSet::single(Direction::West)),
+        );
+        plan.push_rule(
+            Coord::new(0, 0),
+            c,
+            RouteRule::forever(Direction::East, DirectionSet::single(Direction::Ramp)),
+        );
+        plan.add_data_pe(Coord::new(0, 0));
+        plan.add_data_pe(Coord::new(1, 0));
+        plan.add_result_pe(Coord::new(0, 0));
+        plan
+    }
+
+    #[test]
+    fn plan_bookkeeping() {
+        let plan = simple_plan("test", 0);
+        assert_eq!(plan.vector_len(), 4);
+        assert_eq!(plan.data_pes().len(), 2);
+        assert_eq!(plan.result_pes(), &[Coord::new(0, 0)]);
+        assert_eq!(plan.colors_used().len(), 1);
+        assert_eq!(plan.total_wavelets_sent(), 4);
+        assert_eq!(plan.total_wavelets_received(), 4);
+        assert_eq!(plan.scripts(Coord::new(0, 0)).len(), 1);
+    }
+
+    #[test]
+    fn push_rule_appends_to_existing_script() {
+        let dim = GridDim::row(2);
+        let c = Color::new(5);
+        let mut plan = CollectivePlan::new("p", dim, Coord::new(0, 0), 1);
+        let at = Coord::new(0, 0);
+        plan.push_rule(at, c, RouteRule::counted(Direction::East, DirectionSet::single(Direction::Ramp), 3));
+        plan.push_rule(at, c, RouteRule::forever(Direction::West, DirectionSet::single(Direction::Ramp)));
+        assert_eq!(plan.scripts(at).len(), 1);
+        assert_eq!(plan.scripts(at)[0].1.len(), 2);
+    }
+
+    #[test]
+    fn apply_and_run_a_trivial_plan() {
+        let plan = simple_plan("apply", 2);
+        let mut fabric = Fabric::new(plan.dim(), FabricParams::default());
+        plan.apply(&mut fabric);
+        fabric.set_local(Coord::new(0, 0), &[1.0, 2.0, 3.0, 4.0]);
+        fabric.set_local(Coord::new(1, 0), &[10.0, 20.0, 30.0, 40.0]);
+        fabric.run().expect("plan runs");
+        assert_eq!(fabric.local(Coord::new(0, 0))[..4], [11.0, 22.0, 33.0, 44.0]);
+    }
+
+    #[test]
+    fn composition_requires_disjoint_colors() {
+        let a = simple_plan("a", 0);
+        let b = simple_plan("b", 1);
+        let composed = a.then(&b, "a-then-b");
+        assert_eq!(composed.colors_used().len(), 2);
+        assert_eq!(composed.program(Coord::new(1, 0)).len(), 2);
+        assert_eq!(composed.name(), "a-then-b");
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint colors")]
+    fn composition_rejects_overlapping_colors() {
+        let a = simple_plan("a", 0);
+        let b = simple_plan("b", 0);
+        let _ = a.then(&b, "broken");
+    }
+}

@@ -1,0 +1,136 @@
+//! Executing plans on the fabric simulator and checking their results.
+
+use wse_fabric::engine::{FabricError, RunReport};
+use wse_fabric::geometry::Coord;
+use wse_fabric::program::ReduceOp;
+use wse_fabric::{Fabric, FabricParams, NoiseModel};
+
+use crate::plan::CollectivePlan;
+
+/// Configuration of a simulated run.
+#[derive(Debug, Clone, Default)]
+pub struct RunConfig {
+    /// Hardware parameters of the fabric (ramp latency, cycle limit).
+    pub params: FabricParams,
+    /// Optional thermal-noise model (random no-op insertion).
+    pub noise: Option<NoiseModel>,
+}
+
+impl RunConfig {
+    /// A configuration with a non-default ramp latency.
+    pub fn with_ramp_latency(ramp_latency: u64) -> Self {
+        RunConfig { params: FabricParams::with_ramp_latency(ramp_latency), noise: None }
+    }
+}
+
+/// The result of running a plan.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// The fabric's run report (cycles, energy, contention, ...).
+    pub report: RunReport,
+    /// For every result PE of the plan, its output vector.
+    pub outputs: Vec<(Coord, Vec<f32>)>,
+}
+
+impl RunOutcome {
+    /// The measured runtime of the collective: the cycle at which the last
+    /// PE finished its program.
+    pub fn runtime_cycles(&self) -> u64 {
+        self.report.max_finish()
+    }
+}
+
+/// Execute a plan on a fresh fabric.
+///
+/// `inputs` provides one vector per entry of [`CollectivePlan::data_pes`],
+/// in the same order; each vector must have exactly
+/// [`CollectivePlan::vector_len`] elements.
+pub fn run_plan(
+    plan: &CollectivePlan,
+    inputs: &[Vec<f32>],
+    config: &RunConfig,
+) -> Result<RunOutcome, FabricError> {
+    assert_eq!(
+        inputs.len(),
+        plan.data_pes().len(),
+        "one input vector per data PE is required"
+    );
+    for input in inputs {
+        assert_eq!(
+            input.len(),
+            plan.vector_len() as usize,
+            "input vectors must have the plan's vector length"
+        );
+    }
+    let mut fabric = Fabric::new(plan.dim(), config.params);
+    fabric.set_noise(config.noise.clone());
+    plan.apply(&mut fabric);
+    for (at, data) in plan.data_pes().iter().zip(inputs) {
+        fabric.set_local(*at, data);
+    }
+    let report = fabric.run()?;
+    let outputs = plan
+        .result_pes()
+        .iter()
+        .map(|at| (*at, fabric.local(*at)[..plan.vector_len() as usize].to_vec()))
+        .collect();
+    Ok(RunOutcome { report, outputs })
+}
+
+/// The reference result of reducing `inputs` element-wise with `op`
+/// (left-to-right order, which is also the order the plans accumulate in).
+pub fn expected_reduce(inputs: &[Vec<f32>], op: ReduceOp) -> Vec<f32> {
+    assert!(!inputs.is_empty());
+    let len = inputs[0].len();
+    let mut out = inputs[0].clone();
+    for input in &inputs[1..] {
+        assert_eq!(input.len(), len);
+        for (o, v) in out.iter_mut().zip(input) {
+            *o = op.apply(*o, *v);
+        }
+    }
+    out
+}
+
+/// The largest element-wise relative error between `actual` and `expected`
+/// (with a small absolute floor so exact zeros compare cleanly).
+pub fn max_relative_error(actual: &[f32], expected: &[f32]) -> f32 {
+    assert_eq!(actual.len(), expected.len());
+    actual
+        .iter()
+        .zip(expected)
+        .map(|(a, e)| (a - e).abs() / e.abs().max(1e-6))
+        .fold(0.0, f32::max)
+}
+
+/// Assert that every output of an outcome matches the expected vector up to
+/// floating-point reassociation error.
+pub fn assert_outputs_close(outcome: &RunOutcome, expected: &[f32], tolerance: f32) {
+    for (at, output) in &outcome.outputs {
+        let err = max_relative_error(output, expected);
+        assert!(
+            err <= tolerance,
+            "output at {at} deviates from the reference by {err} (tolerance {tolerance})"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expected_reduce_applies_op_elementwise() {
+        let inputs = vec![vec![1.0f32, 2.0, 3.0], vec![4.0, 5.0, 6.0], vec![7.0, 8.0, 9.0]];
+        assert_eq!(expected_reduce(&inputs, ReduceOp::Sum), vec![12.0, 15.0, 18.0]);
+        assert_eq!(expected_reduce(&inputs, ReduceOp::Max), vec![7.0, 8.0, 9.0]);
+        assert_eq!(expected_reduce(&inputs, ReduceOp::Min), vec![1.0, 2.0, 3.0]);
+        assert_eq!(expected_reduce(&inputs, ReduceOp::Prod), vec![28.0, 80.0, 162.0]);
+    }
+
+    #[test]
+    fn relative_error_handles_zero_references() {
+        assert_eq!(max_relative_error(&[0.0], &[0.0]), 0.0);
+        assert!(max_relative_error(&[1.0, 2.2], &[1.0, 2.0]) > 0.09);
+    }
+}

@@ -1,0 +1,196 @@
+//! Model-driven algorithm selection: from `(P, B)` to an executable plan.
+//!
+//! This is the workflow the paper advocates (§1.3, §10): instead of
+//! hand-tuning, evaluate the performance model for the concrete problem
+//! size, pick the best schedule, and generate its code. The functions here
+//! tie `wse-model`'s selection logic to the plan builders of this crate.
+
+use wse_fabric::geometry::GridDim;
+use wse_fabric::program::ReduceOp;
+use wse_model::selection::{self, AllReduce1dAlgorithm, Reduce1dAlgorithm, Reduce2dAlgorithm};
+use wse_model::Machine;
+
+use crate::allreduce::{allreduce_1d_plan, allreduce_2d_plan, AllReducePattern};
+use crate::plan::CollectivePlan;
+use crate::reduce::{reduce_1d_plan, reduce_2d_plan, Reduce2dPattern, ReducePattern};
+
+impl ReducePattern {
+    /// The plan-side pattern corresponding to a model-side algorithm label.
+    pub fn from_model(alg: Reduce1dAlgorithm) -> Self {
+        match alg {
+            Reduce1dAlgorithm::Star => ReducePattern::Star,
+            Reduce1dAlgorithm::Chain => ReducePattern::Chain,
+            Reduce1dAlgorithm::Tree => ReducePattern::Tree,
+            Reduce1dAlgorithm::TwoPhase => ReducePattern::TwoPhase,
+            Reduce1dAlgorithm::AutoGen => ReducePattern::AutoGen,
+        }
+    }
+}
+
+/// A plan together with the model's reasoning for choosing it.
+#[derive(Debug, Clone)]
+pub struct SelectedPlan {
+    /// The executable plan.
+    pub plan: CollectivePlan,
+    /// The model's predicted runtime for the chosen algorithm, in cycles.
+    pub predicted_cycles: f64,
+    /// The name of the chosen algorithm.
+    pub algorithm: String,
+}
+
+/// Choose the best *fixed* 1D Reduce for `(p, b)` according to the model and
+/// build its plan. (The Auto-Gen schedule, which always matches or beats the
+/// fixed patterns under the model, is available via
+/// [`crate::reduce::ReducePattern::AutoGen`].)
+pub fn select_reduce_1d(p: u32, b: u32, op: ReduceOp, machine: &Machine) -> SelectedPlan {
+    let best = selection::best_fixed_reduce_1d(p as u64, b as u64, machine);
+    let pattern = ReducePattern::from_model(best.algorithm);
+    SelectedPlan {
+        plan: reduce_1d_plan(pattern, p, b, op, machine),
+        predicted_cycles: best.cycles,
+        algorithm: best.algorithm.name().to_string(),
+    }
+}
+
+/// Choose the best fixed 1D AllReduce for `(p, b)` and build its plan
+/// (the regions of Figure 8).
+pub fn select_allreduce_1d(p: u32, b: u32, op: ReduceOp, machine: &Machine) -> SelectedPlan {
+    let best = selection::best_fixed_allreduce_1d(p as u64, b as u64, machine);
+    let pattern = match best.algorithm {
+        AllReduce1dAlgorithm::StarBcast => AllReducePattern::ReduceBroadcast(ReducePattern::Star),
+        AllReduce1dAlgorithm::ChainBcast => AllReducePattern::ReduceBroadcast(ReducePattern::Chain),
+        AllReduce1dAlgorithm::TreeBcast => AllReducePattern::ReduceBroadcast(ReducePattern::Tree),
+        AllReduce1dAlgorithm::TwoPhaseBcast => {
+            AllReducePattern::ReduceBroadcast(ReducePattern::TwoPhase)
+        }
+        AllReduce1dAlgorithm::AutoGenBcast => {
+            AllReducePattern::ReduceBroadcast(ReducePattern::AutoGen)
+        }
+        AllReduce1dAlgorithm::Ring | AllReduce1dAlgorithm::Butterfly => AllReducePattern::Ring,
+    };
+    // The ring requires the vector to split evenly over the PEs; fall back to
+    // the best reduce-then-broadcast plan otherwise.
+    let pattern = match pattern {
+        AllReducePattern::Ring if !b.is_multiple_of(p) => {
+            AllReducePattern::ReduceBroadcast(ReducePattern::AutoGen)
+        }
+        other => other,
+    };
+    SelectedPlan {
+        plan: allreduce_1d_plan(pattern, p, b, op, machine),
+        predicted_cycles: best.cycles,
+        algorithm: best.algorithm.name().to_string(),
+    }
+}
+
+/// Choose the best fixed 2D Reduce for an `dim` grid and build its plan
+/// (the regions of Figure 13).
+pub fn select_reduce_2d(dim: GridDim, b: u32, op: ReduceOp, machine: &Machine) -> SelectedPlan {
+    let best =
+        selection::best_fixed_reduce_2d(dim.height as u64, dim.width as u64, b as u64, machine);
+    let pattern = reduce_2d_pattern_from_model(best.algorithm);
+    SelectedPlan {
+        plan: reduce_2d_plan(pattern, dim, b, op, machine),
+        predicted_cycles: best.cycles,
+        algorithm: best.algorithm.name().to_string(),
+    }
+}
+
+/// Choose the best fixed 2D AllReduce for an `dim` grid and build its plan
+/// (the regions of Figure 10).
+pub fn select_allreduce_2d(dim: GridDim, b: u32, op: ReduceOp, machine: &Machine) -> SelectedPlan {
+    let best =
+        selection::best_fixed_allreduce_2d(dim.height as u64, dim.width as u64, b as u64, machine);
+    let pattern = reduce_2d_pattern_from_model(best.algorithm);
+    SelectedPlan {
+        plan: allreduce_2d_plan(pattern, dim, b, op, machine),
+        predicted_cycles: best.cycles,
+        algorithm: best.algorithm.name().to_string(),
+    }
+}
+
+fn reduce_2d_pattern_from_model(alg: Reduce2dAlgorithm) -> Reduce2dPattern {
+    match alg {
+        Reduce2dAlgorithm::XyStar => Reduce2dPattern::Xy(ReducePattern::Star),
+        Reduce2dAlgorithm::XyChain => Reduce2dPattern::Xy(ReducePattern::Chain),
+        Reduce2dAlgorithm::XyTree => Reduce2dPattern::Xy(ReducePattern::Tree),
+        Reduce2dAlgorithm::XyTwoPhase => Reduce2dPattern::Xy(ReducePattern::TwoPhase),
+        Reduce2dAlgorithm::XyAutoGen => Reduce2dPattern::Xy(ReducePattern::AutoGen),
+        Reduce2dAlgorithm::Snake => Reduce2dPattern::Snake,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{assert_outputs_close, expected_reduce, run_plan, RunConfig};
+
+    fn machine() -> Machine {
+        Machine::wse2()
+    }
+
+    fn inputs(p: usize, b: usize) -> Vec<Vec<f32>> {
+        (0..p).map(|i| (0..b).map(|j| (i + j) as f32 * 0.01 + 1.0).collect()).collect()
+    }
+
+    #[test]
+    fn selected_1d_reduce_runs_and_is_correct() {
+        for (p, b) in [(8u32, 4u32), (16, 64), (12, 300)] {
+            let selected = select_reduce_1d(p, b, ReduceOp::Sum, &machine());
+            let data = inputs(p as usize, b as usize);
+            let outcome = run_plan(&selected.plan, &data, &RunConfig::default()).unwrap();
+            assert_outputs_close(&outcome, &expected_reduce(&data, ReduceOp::Sum), 1e-4);
+            assert!(selected.predicted_cycles > 0.0);
+        }
+    }
+
+    #[test]
+    fn selected_1d_allreduce_runs_and_is_correct() {
+        for (p, b) in [(4u32, 64u32), (8, 16), (6, 30)] {
+            let selected = select_allreduce_1d(p, b, ReduceOp::Sum, &machine());
+            let data = inputs(p as usize, b as usize);
+            let outcome = run_plan(&selected.plan, &data, &RunConfig::default()).unwrap();
+            assert_eq!(outcome.outputs.len(), p as usize);
+            assert_outputs_close(&outcome, &expected_reduce(&data, ReduceOp::Sum), 1e-4);
+        }
+    }
+
+    #[test]
+    fn selected_2d_plans_run_and_are_correct() {
+        let dim = GridDim::new(4, 4);
+        let b = 16;
+        let data = inputs(16, b as usize);
+        let expected = expected_reduce(&data, ReduceOp::Sum);
+
+        let reduce = select_reduce_2d(dim, b, ReduceOp::Sum, &machine());
+        let outcome = run_plan(&reduce.plan, &data, &RunConfig::default()).unwrap();
+        assert_outputs_close(&outcome, &expected, 1e-4);
+
+        let allreduce = select_allreduce_2d(dim, b, ReduceOp::Sum, &machine());
+        let outcome = run_plan(&allreduce.plan, &data, &RunConfig::default()).unwrap();
+        assert_eq!(outcome.outputs.len(), 16);
+        assert_outputs_close(&outcome, &expected, 1e-4);
+    }
+
+    #[test]
+    fn selection_matches_the_model_regions() {
+        let m = machine();
+        // Huge vectors on few PEs: ring (or chain) territory.
+        let s = select_allreduce_1d(4, 4096, ReduceOp::Sum, &m);
+        assert_eq!(s.algorithm, "Ring");
+        // Intermediate vectors on many PEs: two-phase territory.
+        let s = select_reduce_1d(256, 256, ReduceOp::Sum, &m);
+        assert_eq!(s.algorithm, "Two-Phase");
+    }
+
+    #[test]
+    fn ring_fallback_when_vector_does_not_divide() {
+        let m = machine();
+        // b = 4098 is not divisible by 4, but the model may still pick the
+        // ring; the selected plan must nevertheless be runnable.
+        let s = select_allreduce_1d(4, 4098, ReduceOp::Sum, &m);
+        let data = inputs(4, 4098);
+        let outcome = run_plan(&s.plan, &data, &RunConfig::default()).unwrap();
+        assert_outputs_close(&outcome, &expected_reduce(&data, ReduceOp::Sum), 1e-3);
+    }
+}

@@ -1,0 +1,373 @@
+//! Compiling a pre-order reduction tree into an executable plan.
+//!
+//! This module is the runtime equivalent of the paper's code generator
+//! (§5.5): given a [`ReductionTree`] over the positions of a [`LinePath`],
+//! it emits, for every PE, the program and the ordered routing rules that
+//! realise the schedule on the mesh. Because the Star, Chain, binary Tree
+//! and Two-Phase patterns are all special cases of such trees (§5.5), a
+//! single compiler covers every Reduce variant of the paper, including the
+//! Auto-Gen schedules produced by `wse-model`.
+//!
+//! ## How a tree becomes routing rules
+//!
+//! Every tree edge `child → parent` is one *transfer*: the child streams its
+//! `B`-element partial result towards the parent along the path. Transfers
+//! are ordered by the post-order position of the child (children in receive
+//! order, then the node itself), which is exactly the order in which a
+//! sequential execution would complete them. Every router involved in a
+//! transfer — the sender, the intermediate hops and the receiver — gets one
+//! counted routing rule per transfer, appended in this global order;
+//! consecutive identical rules are merged. Because communication edges of a
+//! pre-order tree never partially overlap, the streams of two transfers that
+//! share a link are always separated by a configuration switch, so they can
+//! share a color without racing (§8.2: "we configure the routers such that
+//! at a given cycle they accept wavelets only from a single direction").
+//!
+//! ## Colors and pipelining
+//!
+//! A node that is itself forwarding to its parent while still receiving from
+//! its last child (the pipelined chain step) must receive and send on
+//! different colors; alternating colors by tree depth achieves this with two
+//! colors, matching the paper's Chain implementation.
+
+use wse_fabric::geometry::{Coord, DirectionSet};
+use wse_fabric::program::ReduceOp;
+use wse_fabric::router::RouteRule;
+use wse_fabric::wavelet::Color;
+use wse_model::autogen::ReductionTree;
+
+use crate::path::LinePath;
+use crate::plan::CollectivePlan;
+
+/// Append a tree Reduce over `path` to an existing plan.
+///
+/// * `tree` — a pre-order reduction tree over the path positions (position 0
+///   is the root); every parent must lie closer to the root than its child.
+/// * `vector_len` — number of 32-bit elements per PE.
+/// * `op` — the associative reduction operation.
+/// * `colors` — two routing colors used alternately by tree depth.
+/// * `keep_partial` — whether interior PEs keep their partial sums in local
+///   memory (not needed for a plain Reduce).
+///
+/// The caller is responsible for registering data/result PEs on the plan.
+pub fn append_tree_reduce(
+    plan: &mut CollectivePlan,
+    path: &LinePath,
+    tree: &ReductionTree,
+    vector_len: u32,
+    op: ReduceOp,
+    colors: [Color; 2],
+    keep_partial: bool,
+) {
+    assert_eq!(
+        tree.num_pes(),
+        path.len(),
+        "the reduction tree must cover exactly the PEs of the path"
+    );
+    assert!(colors[0] != colors[1], "the two tree colors must differ");
+    tree.validate().expect("invalid reduction tree");
+    let n = path.len();
+    if n <= 1 {
+        return;
+    }
+    for (child, parent) in tree.parent.iter().enumerate() {
+        if let Some(p) = parent {
+            assert!(
+                *p < child,
+                "tree edges must point towards the root of the path ({child} -> {p})"
+            );
+        }
+    }
+    let b = vector_len as u64;
+
+    // Depth of every node (root = 0); the send color of a node at depth d is
+    // colors[d % 2], so a node always receives its last child's stream on the
+    // other color than the one it forwards on.
+    let mut depth = vec![0u32; n];
+    for &node in &tree.preorder() {
+        if let Some(p) = tree.parent[node] {
+            depth[node] = depth[p] + 1;
+        }
+    }
+    let send_color = |node: usize| colors[(depth[node] % 2) as usize];
+
+    // Transfers in global order: post-order position of the sending child.
+    let mut transfers: Vec<usize> = Vec::with_capacity(n - 1);
+    let mut stack: Vec<(usize, usize)> = vec![(0, 0)];
+    while let Some((node, child_idx)) = stack.pop() {
+        if child_idx < tree.children[node].len() {
+            stack.push((node, child_idx + 1));
+            stack.push((tree.children[node][child_idx], 0));
+        } else if node != 0 {
+            transfers.push(node);
+        }
+    }
+    debug_assert_eq!(transfers.len(), n - 1);
+
+    // Routing rules, in transfer order, for every PE the transfer touches.
+    for &sender in &transfers {
+        let parent = tree.parent[sender].expect("non-root sender has a parent");
+        let color = send_color(sender);
+        // Sender: own data up the ramp, towards the root.
+        push_merged(
+            plan,
+            path.coord(sender),
+            color,
+            RouteRule::counted(
+                wse_fabric::geometry::Direction::Ramp,
+                DirectionSet::single(path.towards_root(sender)),
+                b,
+            ),
+        );
+        // Intermediate hops: pass the stream through towards the root.
+        for m in (parent + 1..sender).rev() {
+            push_merged(
+                plan,
+                path.coord(m),
+                color,
+                RouteRule::counted(
+                    path.away_from_root(m),
+                    DirectionSet::single(path.towards_root(m)),
+                    b,
+                ),
+            );
+        }
+        // Receiver: deliver the stream to the processor.
+        push_merged(
+            plan,
+            path.coord(parent),
+            color,
+            RouteRule::counted(
+                path.away_from_root(parent),
+                DirectionSet::single(wse_fabric::geometry::Direction::Ramp),
+                b,
+            ),
+        );
+    }
+
+    // Programs: receive children in order, then forward to the parent. The
+    // last child of a non-root node is combined and forwarded element by
+    // element (the pipelined chain step).
+    for node in 0..n {
+        let at = path.coord(node);
+        let children = &tree.children[node];
+        let is_root = node == 0;
+        let program = plan.program_mut(at);
+        if children.is_empty() {
+            if !is_root {
+                program.send(send_color(node), 0, vector_len);
+            }
+            continue;
+        }
+        let (last, earlier) = children.split_last().expect("non-empty children");
+        for &child in earlier {
+            program.recv_reduce(send_color(child), 0, vector_len, op);
+        }
+        if is_root {
+            program.recv_reduce(send_color(*last), 0, vector_len, op);
+        } else {
+            program.recv_forward(
+                send_color(*last),
+                send_color(node),
+                0,
+                vector_len,
+                op,
+                keep_partial,
+            );
+        }
+    }
+}
+
+/// Append a rule, merging it with the previous rule of the same color at the
+/// same PE when both are counted rules with identical ports (this collapses
+/// e.g. the long pass-through sequences of the Star pattern into one rule).
+fn push_merged(plan: &mut CollectivePlan, at: Coord, color: Color, rule: RouteRule) {
+    if let Some((_, script)) = plan.scripts(at).iter().find(|(c, _)| *c == color) {
+        if let Some(last) = script.rules().last() {
+            if last.accept_from == rule.accept_from
+                && last.forward_to == rule.forward_to
+                && last.advance_after.is_some()
+                && rule.advance_after.is_some()
+                && !last.advance_on_control
+                && !rule.advance_on_control
+            {
+                let merged = RouteRule::counted(
+                    rule.accept_from,
+                    rule.forward_to,
+                    last.advance_after.unwrap() + rule.advance_after.unwrap(),
+                );
+                plan.replace_last_rule(at, color, merged);
+                return;
+            }
+        }
+    }
+    plan.push_rule(at, color, rule);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::LinePath;
+    use crate::runner::{expected_reduce, run_plan, RunConfig};
+    use wse_fabric::geometry::GridDim;
+    use wse_model::autogen::ReductionTree;
+
+    fn colors() -> [Color; 2] {
+        [Color::new(0), Color::new(1)]
+    }
+
+    fn build_plan(name: &str, path: &LinePath, tree: &ReductionTree, b: u32) -> CollectivePlan {
+        let mut plan = CollectivePlan::new(name, path.dim(), path.root(), b);
+        append_tree_reduce(&mut plan, path, tree, b, ReduceOp::Sum, colors(), false);
+        for c in path.coords() {
+            plan.add_data_pe(*c);
+        }
+        plan.add_result_pe(path.root());
+        plan
+    }
+
+    fn inputs_for(p: usize, b: usize) -> Vec<Vec<f32>> {
+        (0..p)
+            .map(|i| (0..b).map(|j| (i * 37 + j) as f32 * 0.5 + 1.0).collect())
+            .collect()
+    }
+
+    fn check_tree(p: u32, b: u32, tree: ReductionTree) -> u64 {
+        let dim = GridDim::row(p);
+        let path = LinePath::row(dim, 0);
+        let plan = build_plan("tree", &path, &tree, b);
+        let inputs = inputs_for(p as usize, b as usize);
+        let outcome = run_plan(&plan, &inputs, &RunConfig::default()).expect("plan runs");
+        let expected = expected_reduce(&inputs, ReduceOp::Sum);
+        let root_output = &outcome.outputs[0].1;
+        for (a, e) in root_output.iter().zip(&expected) {
+            assert!((a - e).abs() <= e.abs() * 1e-5 + 1e-4, "got {a}, expected {e}");
+        }
+        outcome.report.max_finish()
+    }
+
+    #[test]
+    fn chain_tree_reduces_correctly() {
+        check_tree(6, 9, ReductionTree::chain(6));
+    }
+
+    #[test]
+    fn star_tree_reduces_correctly() {
+        check_tree(7, 5, ReductionTree::star(7));
+    }
+
+    #[test]
+    fn binary_tree_reduces_correctly() {
+        check_tree(8, 16, ReductionTree::binary_tree(8));
+        check_tree(13, 7, ReductionTree::binary_tree(13));
+    }
+
+    #[test]
+    fn two_phase_tree_reduces_correctly() {
+        check_tree(16, 12, ReductionTree::two_phase(16, 4));
+        check_tree(14, 6, ReductionTree::two_phase(14, 5));
+    }
+
+    #[test]
+    fn tree_reduce_works_on_columns_and_snakes() {
+        let b = 8u32;
+        // Column.
+        let dim = GridDim::new(1, 9);
+        let path = LinePath::column(dim, 0);
+        let tree = ReductionTree::two_phase(9, 3);
+        let plan = build_plan("column", &path, &tree, b);
+        let inputs = inputs_for(9, b as usize);
+        let outcome = run_plan(&plan, &inputs, &RunConfig::default()).unwrap();
+        let expected = expected_reduce(&inputs, ReduceOp::Sum);
+        assert!(outcome.outputs[0]
+            .1
+            .iter()
+            .zip(&expected)
+            .all(|(a, e)| (a - e).abs() <= e.abs() * 1e-5 + 1e-4));
+
+        // Snake over a small grid: the chain pattern mapped onto the
+        // boustrophedon path (§7.3).
+        let dim = GridDim::new(4, 3);
+        let path = LinePath::snake(dim);
+        let tree = ReductionTree::chain(12);
+        let plan = build_plan("snake", &path, &tree, b);
+        let inputs = inputs_for(12, b as usize);
+        let outcome = run_plan(&plan, &inputs, &RunConfig::default()).unwrap();
+        let expected = expected_reduce(&inputs, ReduceOp::Sum);
+        assert!(outcome.outputs[0]
+            .1
+            .iter()
+            .zip(&expected)
+            .all(|(a, e)| (a - e).abs() <= e.abs() * 1e-5 + 1e-4));
+    }
+
+    #[test]
+    fn chain_is_pipelined_star_is_contention_bound() {
+        // The chain's runtime grows like B + c·P while the star's grows like
+        // B·(P-1): check the qualitative separation on the simulator.
+        let b = 64;
+        let p = 8;
+        let chain = check_tree(p, b, ReductionTree::chain(p as usize));
+        let star = check_tree(p, b, ReductionTree::star(p as usize));
+        assert!(
+            (star as f64) > 0.8 * (b as f64 * (p as f64 - 1.0)),
+            "star should be contention bound, got {star}"
+        );
+        assert!(
+            (chain as f64) < star as f64 / 2.0,
+            "chain ({chain}) should be well below star ({star}) for long vectors"
+        );
+    }
+
+    #[test]
+    fn different_ops_are_supported() {
+        let p = 5u32;
+        let b = 4u32;
+        let dim = GridDim::row(p);
+        let path = LinePath::row(dim, 0);
+        for op in [ReduceOp::Max, ReduceOp::Min, ReduceOp::Prod] {
+            let tree = ReductionTree::two_phase(p as usize, 2);
+            let mut plan = CollectivePlan::new("op", dim, path.root(), b);
+            append_tree_reduce(&mut plan, &path, &tree, b, op, colors(), false);
+            for c in path.coords() {
+                plan.add_data_pe(*c);
+            }
+            plan.add_result_pe(path.root());
+            let inputs = inputs_for(p as usize, b as usize);
+            let outcome = run_plan(&plan, &inputs, &RunConfig::default()).unwrap();
+            let expected = expected_reduce(&inputs, op);
+            for (a, e) in outcome.outputs[0].1.iter().zip(&expected) {
+                assert!((a - e).abs() <= e.abs() * 1e-5 + 1e-4, "{op:?}: got {a}, expected {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_pe_tree_is_a_no_op() {
+        let dim = GridDim::row(1);
+        let path = LinePath::row(dim, 0);
+        let tree = ReductionTree::chain(1);
+        let plan = build_plan("single", &path, &tree, 4);
+        let inputs = inputs_for(1, 4);
+        let outcome = run_plan(&plan, &inputs, &RunConfig::default()).unwrap();
+        assert_eq!(outcome.outputs[0].1, inputs[0]);
+        assert_eq!(outcome.report.energy_hops, 0);
+    }
+
+    #[test]
+    fn plans_use_at_most_two_colors_for_1d_reduce() {
+        let path = LinePath::row(GridDim::row(16), 0);
+        let tree = ReductionTree::two_phase(16, 4);
+        let plan = build_plan("colors", &path, &tree, 8);
+        assert!(plan.colors_used().len() <= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must cover exactly")]
+    fn tree_and_path_size_mismatch_panics() {
+        let path = LinePath::row(GridDim::row(4), 0);
+        let tree = ReductionTree::chain(5);
+        let mut plan = CollectivePlan::new("bad", path.dim(), path.root(), 4);
+        append_tree_reduce(&mut plan, &path, &tree, 4, ReduceOp::Sum, colors(), false);
+    }
+}

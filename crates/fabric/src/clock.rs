@@ -1,0 +1,146 @@
+//! Clock skew and thermal-noise models.
+//!
+//! The CS-2's PEs run truly independent clocks at around 850 MHz and may
+//! insert no-ops to regulate thermal stress (§8.1). These two effects are
+//! the reason the paper needs the careful measurement methodology of §8.3.
+//! The simulator reproduces both: a [`ClockModel`] turns the engine's true
+//! cycle numbers into skewed per-PE local readings, and a [`NoiseModel`]
+//! injects random no-op cycles into PE execution.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-PE clock offsets: local reading = true cycle + offset.
+///
+/// Only offsets (not drift) are modelled; over the sub-microsecond intervals
+/// of a single collective the relative drift of the 850 MHz oscillators is
+/// far below one cycle.
+#[derive(Debug, Clone)]
+pub struct ClockModel {
+    offsets: Vec<i64>,
+}
+
+impl ClockModel {
+    /// A model where every PE shares the global clock (no skew).
+    pub fn synchronized(num_pes: usize) -> Self {
+        ClockModel { offsets: vec![0; num_pes] }
+    }
+
+    /// A model with uniformly random offsets in `[0, max_skew]`.
+    ///
+    /// Each PE's cycle counter starts when the PE comes up, so the offsets
+    /// between local clocks are arbitrary non-negative values; what matters
+    /// for the measurement methodology is only that they differ.
+    pub fn random(num_pes: usize, max_skew: u64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let offsets = (0..num_pes).map(|_| rng.gen_range(0..=max_skew as i64)).collect();
+        ClockModel { offsets }
+    }
+
+    /// A model with explicitly given offsets.
+    pub fn with_offsets(offsets: Vec<i64>) -> Self {
+        ClockModel { offsets }
+    }
+
+    /// Number of PEs covered by the model.
+    pub fn num_pes(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// The offset of one PE.
+    pub fn offset(&self, pe: usize) -> i64 {
+        self.offsets[pe]
+    }
+
+    /// The local clock reading of `pe` at the given true cycle.
+    pub fn read(&self, pe: usize, true_cycle: u64) -> u64 {
+        (true_cycle as i64 + self.offsets[pe]).max(0) as u64
+    }
+}
+
+/// Random insertion of thermal no-ops into PE execution.
+#[derive(Debug, Clone)]
+pub struct NoiseModel {
+    probability: f64,
+    rng: StdRng,
+}
+
+impl NoiseModel {
+    /// A noise model that inserts a no-op before a PE cycle with the given
+    /// probability.
+    pub fn new(probability: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&probability),
+            "no-op probability must be in [0, 1)"
+        );
+        NoiseModel { probability, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// The configured no-op probability.
+    pub fn probability(&self) -> f64 {
+        self.probability
+    }
+
+    /// Sample how many no-op cycles to insert right now (0 or 1).
+    pub fn sample_noops(&mut self) -> u32 {
+        if self.probability > 0.0 && self.rng.gen_bool(self.probability) {
+            1
+        } else {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synchronized_clock_reads_true_time() {
+        let clock = ClockModel::synchronized(4);
+        for pe in 0..4 {
+            assert_eq!(clock.read(pe, 1234), 1234);
+            assert_eq!(clock.offset(pe), 0);
+        }
+    }
+
+    #[test]
+    fn random_offsets_are_bounded_and_deterministic() {
+        let a = ClockModel::random(64, 100, 7);
+        let b = ClockModel::random(64, 100, 7);
+        for pe in 0..64 {
+            assert!((0..=100).contains(&a.offset(pe)));
+            assert_eq!(a.offset(pe), b.offset(pe));
+        }
+        let c = ClockModel::random(64, 100, 8);
+        assert!((0..64).any(|pe| a.offset(pe) != c.offset(pe)));
+    }
+
+    #[test]
+    fn clock_reading_never_underflows() {
+        let clock = ClockModel::with_offsets(vec![-50]);
+        assert_eq!(clock.read(0, 10), 0);
+        assert_eq!(clock.read(0, 60), 10);
+    }
+
+    #[test]
+    fn noise_model_zero_probability_is_silent() {
+        let mut noise = NoiseModel::new(0.0, 1);
+        assert_eq!((0..100).map(|_| noise.sample_noops()).sum::<u32>(), 0);
+    }
+
+    #[test]
+    fn noise_model_rate_matches_probability() {
+        let mut noise = NoiseModel::new(0.25, 42);
+        let n = 10_000;
+        let hits: u32 = (0..n).map(|_| noise.sample_noops()).sum();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.03, "observed rate {rate}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn noise_probability_must_be_below_one() {
+        let _ = NoiseModel::new(1.0, 0);
+    }
+}

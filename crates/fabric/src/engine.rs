@@ -1,0 +1,832 @@
+//! The cycle-stepped fabric engine.
+//!
+//! The engine advances the whole grid one cycle at a time:
+//!
+//! 1. every PE executes one cycle of its program (consuming at most one
+//!    wavelet from its ramp and injecting at most one),
+//! 2. every router moves at most one wavelet per input port, subject to the
+//!    active routing rule, output-link bandwidth (one wavelet per direction
+//!    per cycle) and downstream buffer space; multicast forwards are
+//!    all-or-nothing, and
+//! 3. wavelets handed to a neighbouring router become visible there in the
+//!    next cycle.
+//!
+//! This reproduces the behaviour the performance model abstracts: one-hop
+//! per cycle links, per-PE pipelining limited by the single ramp port,
+//! contention stalls at over-subscribed PEs, and loose synchronisation
+//! through routing-configuration switches.
+
+use std::collections::VecDeque;
+
+use crate::clock::NoiseModel;
+use crate::geometry::{Coord, Direction, GridDim};
+use crate::pe::{PeError, PeState, PeStats};
+use crate::program::PeProgram;
+use crate::router::{ColorScript, RouteDecision, Router};
+use crate::wavelet::{Color, Wavelet};
+
+/// Capacity of each router input queue (per mesh direction and color). Two
+/// entries are enough to sustain one wavelet per cycle through a full
+/// pipeline while still providing backpressure.
+const INBUF_CAPACITY: usize = 2;
+
+/// The per-color input queues of one mesh port of a router.
+///
+/// The hardware keeps per-color state in the router; modelling the input
+/// buffering per color (rather than as a single FIFO per port) is what
+/// prevents head-of-line blocking between colors: a wavelet whose color is
+/// currently stalled by the routing configuration must not block wavelets of
+/// other colors that arrived behind it.
+#[derive(Debug, Clone, Default)]
+struct PortQueues {
+    queues: Vec<(Color, VecDeque<(u64, Wavelet)>)>,
+}
+
+impl PortQueues {
+    fn has_space(&self, color: Color) -> bool {
+        self.queues
+            .iter()
+            .find(|(c, _)| *c == color)
+            .is_none_or(|(_, q)| q.len() < INBUF_CAPACITY)
+    }
+
+    fn push(&mut self, arrival: u64, wavelet: Wavelet) {
+        if let Some((_, q)) = self.queues.iter_mut().find(|(c, _)| *c == wavelet.color) {
+            q.push_back((arrival, wavelet));
+        } else {
+            let mut q = VecDeque::with_capacity(INBUF_CAPACITY);
+            q.push_back((arrival, wavelet));
+            self.queues.push((wavelet.color, q));
+        }
+    }
+
+    /// The colors whose head wavelet is visible this cycle (arrived in an
+    /// earlier cycle), in queue order starting at `offset` for fairness.
+    fn visible_heads(&self, now: u64, offset: usize) -> Vec<(Color, Wavelet)> {
+        let n = self.queues.len();
+        let mut out = Vec::new();
+        for k in 0..n {
+            let (color, q) = &self.queues[(k + offset) % n];
+            if let Some(&(arrival, w)) = q.front() {
+                if arrival < now {
+                    debug_assert_eq!(w.color, *color);
+                    out.push((*color, w));
+                }
+            }
+        }
+        out
+    }
+
+    fn pop(&mut self, color: Color) -> Wavelet {
+        let (_, q) = self
+            .queues
+            .iter_mut()
+            .find(|(c, _)| *c == color)
+            .expect("pop of an unknown color");
+        q.pop_front().expect("pop of an empty queue").1
+    }
+
+    fn is_empty(&self) -> bool {
+        self.queues.iter().all(|(_, q)| q.is_empty())
+    }
+}
+
+/// How many consecutive cycles without any state change (and without
+/// anything in flight on a ramp) are tolerated before declaring a deadlock.
+const DEADLOCK_PATIENCE: u64 = 16;
+
+/// Hardware parameters of the simulated fabric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FabricParams {
+    /// Ramp latency `T_R` in cycles (2 on the WSE-2).
+    pub ramp_latency: u64,
+    /// Safety limit on the number of simulated cycles.
+    pub max_cycles: u64,
+}
+
+impl Default for FabricParams {
+    fn default() -> Self {
+        FabricParams { ramp_latency: 2, max_cycles: 200_000_000 }
+    }
+}
+
+impl FabricParams {
+    /// Parameters with a custom ramp latency.
+    pub fn with_ramp_latency(ramp_latency: u64) -> Self {
+        FabricParams { ramp_latency, ..Default::default() }
+    }
+}
+
+/// A fatal simulation error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FabricError {
+    /// A PE raised a program error (wrong color, out-of-bounds access).
+    Program(PeError),
+    /// A wavelet reached a router that has no routing script for its color.
+    UnconfiguredColor {
+        /// Linear index of the router.
+        pe: usize,
+        /// Color of the offending wavelet.
+        color: Color,
+        /// Direction it arrived from.
+        from: Direction,
+    },
+    /// A routing rule forwards off the edge of the grid.
+    ForwardOffGrid {
+        /// Linear index of the router.
+        pe: usize,
+        /// The direction that leaves the grid.
+        direction: Direction,
+    },
+    /// No wavelet moved and no PE made progress for many cycles while the
+    /// collective had not completed.
+    Deadlock {
+        /// Cycle at which the deadlock was declared.
+        cycle: u64,
+        /// Indices of PEs that have not finished their programs.
+        stuck_pes: Vec<usize>,
+    },
+    /// The safety cycle limit was exceeded.
+    CycleLimitExceeded {
+        /// The limit that was hit.
+        limit: u64,
+    },
+}
+
+impl std::fmt::Display for FabricError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FabricError::Program(e) => write!(f, "PE {} program error: {}", e.pe, e.message),
+            FabricError::UnconfiguredColor { pe, color, from } => {
+                write!(f, "router {pe} has no script for {color} (wavelet from {from})")
+            }
+            FabricError::ForwardOffGrid { pe, direction } => {
+                write!(f, "router {pe} forwards off the grid towards {direction}")
+            }
+            FabricError::Deadlock { cycle, stuck_pes } => {
+                write!(f, "deadlock at cycle {cycle}: {} PEs stuck", stuck_pes.len())
+            }
+            FabricError::CycleLimitExceeded { limit } => {
+                write!(f, "cycle limit of {limit} exceeded")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FabricError {}
+
+/// Aggregate statistics of a completed run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunReport {
+    /// Cycle at which the last PE finished and the fabric drained.
+    pub cycles: u64,
+    /// Per-PE cycle at which its program finished.
+    pub pe_finish: Vec<u64>,
+    /// Total number of router-to-router hops (the measured energy term).
+    pub energy_hops: u64,
+    /// Number of distinct directed links that carried at least one wavelet.
+    pub links_used: u64,
+    /// The largest number of wavelets carried by any single directed link.
+    pub max_link_load: u64,
+    /// The largest number of wavelets any PE received (measured contention).
+    pub max_received: u64,
+    /// The largest number of wavelets any PE sent.
+    pub max_sent: u64,
+    /// Total PE cycles spent stalled.
+    pub stall_cycles: u64,
+    /// Total thermal no-op cycles inserted by the noise model.
+    pub noop_cycles: u64,
+}
+
+impl RunReport {
+    /// The finish cycle of the PE with the given linear index.
+    pub fn finish_of(&self, index: usize) -> u64 {
+        self.pe_finish[index]
+    }
+
+    /// The latest finish cycle over all PEs (the collective's completion
+    /// time as measured by the §8.3 methodology).
+    pub fn max_finish(&self) -> u64 {
+        self.pe_finish.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// The simulated wafer fabric: a grid of PEs, their routers and the mesh
+/// links between them.
+#[derive(Debug)]
+pub struct Fabric {
+    dim: GridDim,
+    params: FabricParams,
+    pes: Vec<PeState>,
+    routers: Vec<Router>,
+    /// Input queues per PE and mesh direction (indexed by `Direction::index`).
+    inbuf: Vec<[PortQueues; 4]>,
+    /// Wavelets carried per PE and outgoing mesh direction.
+    link_load: Vec<[u64; 4]>,
+    cycle: u64,
+    energy_hops: u64,
+    noise: Option<NoiseModel>,
+}
+
+impl Fabric {
+    /// Create an idle fabric of the given dimensions.
+    pub fn new(dim: GridDim, params: FabricParams) -> Self {
+        let n = dim.num_pes();
+        Fabric {
+            dim,
+            params,
+            pes: (0..n).map(|i| PeState::new(i, params.ramp_latency)).collect(),
+            routers: vec![Router::new(); n],
+            inbuf: vec![Default::default(); n],
+            link_load: vec![[0; 4]; n],
+            cycle: 0,
+            energy_hops: 0,
+            noise: None,
+        }
+    }
+
+    /// The grid dimensions.
+    pub fn dim(&self) -> GridDim {
+        self.dim
+    }
+
+    /// The hardware parameters.
+    pub fn params(&self) -> FabricParams {
+        self.params
+    }
+
+    /// Attach a thermal-noise model (random no-op insertion, §8.1).
+    pub fn set_noise(&mut self, noise: Option<NoiseModel>) {
+        self.noise = noise;
+    }
+
+    /// Install the routing script of one color on one router.
+    pub fn set_router_script(&mut self, at: Coord, color: Color, script: ColorScript) {
+        let idx = self.dim.index(at);
+        self.routers[idx].set_script(color, script);
+    }
+
+    /// Install the program of one PE.
+    pub fn set_program(&mut self, at: Coord, program: &PeProgram) {
+        let idx = self.dim.index(at);
+        self.pes[idx].set_program(program);
+    }
+
+    /// Set the local input vector of one PE.
+    pub fn set_local(&mut self, at: Coord, data: &[f32]) {
+        let idx = self.dim.index(at);
+        self.pes[idx].set_local(data);
+    }
+
+    /// The local vector of a PE (result inspection after a run).
+    pub fn local(&self, at: Coord) -> &[f32] {
+        self.pes[self.dim.index(at)].local()
+    }
+
+    /// Per-PE statistics.
+    pub fn pe_stats(&self, at: Coord) -> PeStats {
+        self.pes[self.dim.index(at)].stats()
+    }
+
+    /// The cycle at which each instruction of the PE at `at` completed, in
+    /// program order (used by the measurement methodology of §8.3).
+    pub fn instruction_finish(&self, at: Coord) -> &[u64] {
+        self.pes[self.dim.index(at)].instruction_finish()
+    }
+
+    /// The current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Whether every program has finished and every buffer has drained.
+    pub fn finished(&self) -> bool {
+        self.pes.iter().all(|pe| pe.finished() && pe.ramps_empty())
+            && self.inbuf.iter().all(|bufs| bufs.iter().all(PortQueues::is_empty))
+    }
+
+    /// Advance the fabric by one cycle. Returns whether any architectural
+    /// state changed.
+    pub fn step(&mut self) -> Result<bool, FabricError> {
+        let mut progress = false;
+        let now = self.cycle;
+        let t_r = self.params.ramp_latency;
+
+        // Phase 1: processor execution.
+        for i in 0..self.pes.len() {
+            if let Some(noise) = &mut self.noise {
+                let noops = noise.sample_noops();
+                if noops > 0 {
+                    self.pes[i].inject_noops(noops);
+                }
+            }
+            match self.pes[i].step(now, t_r) {
+                Ok(adv) => progress |= adv,
+                Err(e) => return Err(FabricError::Program(e)),
+            }
+        }
+
+        // Phase 2: routing. A wavelet handed to a neighbouring router is
+        // stamped with the current cycle and only becomes visible there in
+        // the next cycle, so every hop takes at least one cycle. Each input
+        // port and each output port move at most one wavelet per cycle
+        // (32 bits/cycle/direction); multicast forwards are all-or-nothing.
+        let n = self.pes.len();
+        let mut out_used = vec![[false; 5]; n];
+
+        for i in 0..n {
+            let here = self.dim.coord(i);
+            for port in Direction::ALL {
+                // Candidate wavelets on this input port: the ramp head, or
+                // the visible head of each per-color queue.
+                let candidates: Vec<Wavelet> = if port == Direction::Ramp {
+                    self.pes[i].ramp_up_head(now).into_iter().collect()
+                } else {
+                    self.inbuf[i][port.index()]
+                        .visible_heads(now, self.cycle as usize)
+                        .into_iter()
+                        .map(|(_, w)| w)
+                        .collect()
+                };
+                for w in candidates {
+                    let decision = self.routers[i].decide(w.color, port);
+                    let forward = match decision {
+                        RouteDecision::Unconfigured => {
+                            return Err(FabricError::UnconfiguredColor {
+                                pe: i,
+                                color: w.color,
+                                from: port,
+                            })
+                        }
+                        RouteDecision::Stall => continue,
+                        RouteDecision::Accept(set) => set,
+                    };
+
+                    // Check that every forward target can take the wavelet
+                    // this cycle (multicast is all-or-nothing).
+                    let mut feasible = true;
+                    for d in forward.iter() {
+                        if out_used[i][d.index()] {
+                            feasible = false;
+                            break;
+                        }
+                        if d == Direction::Ramp {
+                            if !self.pes[i].ramp_down_has_space() {
+                                feasible = false;
+                                break;
+                            }
+                        } else {
+                            let Some(nc) = self.dim.neighbor(here, d) else {
+                                return Err(FabricError::ForwardOffGrid { pe: i, direction: d });
+                            };
+                            let ni = self.dim.index(nc);
+                            let slot = d.opposite().index();
+                            if !self.inbuf[ni][slot].has_space(w.color) {
+                                feasible = false;
+                                break;
+                            }
+                        }
+                    }
+                    if !feasible {
+                        continue;
+                    }
+
+                    // Commit the move.
+                    let w = if port == Direction::Ramp {
+                        self.pes[i].pop_ramp_up()
+                    } else {
+                        self.inbuf[i][port.index()].pop(w.color)
+                    };
+                    self.routers[i].accept(&w, port);
+                    for d in forward.iter() {
+                        out_used[i][d.index()] = true;
+                        if d == Direction::Ramp {
+                            let ok = self.pes[i].offer_ramp_down(now + t_r, w);
+                            debug_assert!(ok, "ramp-down space checked above");
+                        } else {
+                            let ni = self.dim.index(self.dim.neighbor(here, d).unwrap());
+                            let slot = d.opposite().index();
+                            self.inbuf[ni][slot].push(now, w);
+                            self.energy_hops += 1;
+                            self.link_load[i][d.index()] += 1;
+                        }
+                    }
+                    progress = true;
+                    // At most one wavelet per input port per cycle.
+                    break;
+                }
+            }
+        }
+
+        self.cycle += 1;
+        Ok(progress)
+    }
+
+    /// Run until completion, returning the run report.
+    pub fn run(&mut self) -> Result<RunReport, FabricError> {
+        let mut idle_cycles = 0u64;
+        while !self.finished() {
+            if self.cycle >= self.params.max_cycles {
+                return Err(FabricError::CycleLimitExceeded { limit: self.params.max_cycles });
+            }
+            let progress = self.step()?;
+            if progress {
+                idle_cycles = 0;
+            } else {
+                idle_cycles += 1;
+                // Wavelets may legitimately sit in a ramp for `t_r` cycles
+                // before becoming visible; beyond that, no progress means no
+                // progress ever (the system is deterministic and monotone).
+                if idle_cycles > self.params.ramp_latency + DEADLOCK_PATIENCE {
+                    let stuck: Vec<usize> = self
+                        .pes
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, pe)| !pe.finished())
+                        .map(|(i, _)| i)
+                        .collect();
+                    return Err(FabricError::Deadlock { cycle: self.cycle, stuck_pes: stuck });
+                }
+            }
+        }
+        Ok(self.report())
+    }
+
+    /// Build the report for the current (completed) state.
+    pub fn report(&self) -> RunReport {
+        let pe_finish: Vec<u64> =
+            self.pes.iter().map(|pe| pe.finish_cycle().unwrap_or(self.cycle)).collect();
+        let mut links_used = 0u64;
+        let mut max_link_load = 0u64;
+        for loads in &self.link_load {
+            for &l in loads {
+                if l > 0 {
+                    links_used += 1;
+                    max_link_load = max_link_load.max(l);
+                }
+            }
+        }
+        let mut max_received = 0;
+        let mut max_sent = 0;
+        let mut stall_cycles = 0;
+        let mut noop_cycles = 0;
+        for pe in &self.pes {
+            let s = pe.stats();
+            max_received = max_received.max(s.received);
+            max_sent = max_sent.max(s.sent);
+            stall_cycles += s.stall_cycles;
+            noop_cycles += s.noop_cycles;
+        }
+        RunReport {
+            cycles: self.cycle,
+            pe_finish,
+            energy_hops: self.energy_hops,
+            links_used,
+            max_link_load,
+            max_received,
+            max_sent,
+            stall_cycles,
+            noop_cycles,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::DirectionSet;
+    use crate::program::{PeProgram, ReduceOp};
+    use crate::router::RouteRule;
+
+    fn c(id: u8) -> Color {
+        Color::new(id)
+    }
+
+    fn west_ramp() -> DirectionSet {
+        DirectionSet::single(Direction::West).with(Direction::Ramp)
+    }
+
+    /// Build a fabric where the rightmost PE of a row sends `b` elements to
+    /// the leftmost PE (the Message primitive of §4.1).
+    fn message_fabric(p: u32, b: u32) -> Fabric {
+        let dim = GridDim::row(p);
+        let mut fabric = Fabric::new(dim, FabricParams::default());
+        let color = c(0);
+        let data: Vec<f32> = (0..b).map(|i| i as f32 + 1.0).collect();
+
+        // Sender: rightmost PE.
+        let sender = Coord::new(p - 1, 0);
+        let mut prog = PeProgram::new();
+        prog.send(color, 0, b);
+        fabric.set_program(sender, &prog);
+        fabric.set_local(sender, &data);
+        fabric.set_router_script(
+            sender,
+            color,
+            ColorScript::new(vec![RouteRule::forever(
+                Direction::Ramp,
+                DirectionSet::single(Direction::West),
+            )]),
+        );
+
+        // Intermediate PEs forward westwards.
+        for x in 1..p - 1 {
+            fabric.set_router_script(
+                Coord::new(x, 0),
+                color,
+                ColorScript::new(vec![RouteRule::forever(
+                    Direction::East,
+                    DirectionSet::single(Direction::West),
+                )]),
+            );
+        }
+
+        // Receiver: leftmost PE.
+        let receiver = Coord::new(0, 0);
+        let mut prog = PeProgram::new();
+        prog.recv_store(color, 0, b);
+        fabric.set_program(receiver, &prog);
+        fabric.set_local(receiver, &vec![0.0; b as usize]);
+        fabric.set_router_script(
+            receiver,
+            color,
+            ColorScript::new(vec![RouteRule::forever(
+                Direction::East,
+                DirectionSet::single(Direction::Ramp),
+            )]),
+        );
+        fabric
+    }
+
+    #[test]
+    fn message_delivers_data_in_order() {
+        let mut fabric = message_fabric(4, 8);
+        let report = fabric.run().expect("run succeeds");
+        let expected: Vec<f32> = (0..8).map(|i| i as f32 + 1.0).collect();
+        assert_eq!(fabric.local(Coord::new(0, 0))[..8], expected[..]);
+        assert_eq!(report.max_received, 8);
+        assert_eq!(report.max_sent, 8);
+        // Energy: 8 wavelets over 3 links.
+        assert_eq!(report.energy_hops, 24);
+        assert_eq!(report.links_used, 3);
+        assert_eq!(report.max_link_load, 8);
+    }
+
+    #[test]
+    fn message_runtime_tracks_the_model() {
+        // T_Message = B + P + 2 T_R; the simulator adds a couple of cycles of
+        // router pipelining, so check a tight band rather than equality.
+        for (p, b) in [(4u32, 8u32), (16, 64), (64, 16), (32, 256)] {
+            let mut fabric = message_fabric(p, b);
+            let report = fabric.run().expect("run succeeds");
+            let measured = report.finish_of(0) as f64;
+            let model = (b + p) as f64 + 4.0;
+            let rel = (measured - model).abs() / model;
+            assert!(
+                rel < 0.25,
+                "p={p} b={b}: measured {measured} vs model {model} (rel {rel:.3})"
+            );
+        }
+    }
+
+    #[test]
+    fn broadcast_multicasts_to_every_pe() {
+        // Flooding broadcast from the rightmost PE of a row (§4.2): every
+        // router duplicates the stream to its processor and onwards.
+        let p = 6u32;
+        let b = 5u32;
+        let dim = GridDim::row(p);
+        let mut fabric = Fabric::new(dim, FabricParams::default());
+        let color = c(3);
+        let data: Vec<f32> = (0..b).map(|i| (i * i) as f32).collect();
+
+        let root = Coord::new(p - 1, 0);
+        let mut prog = PeProgram::new();
+        prog.send(color, 0, b);
+        fabric.set_program(root, &prog);
+        fabric.set_local(root, &data);
+        fabric.set_router_script(
+            root,
+            color,
+            ColorScript::new(vec![RouteRule::forever(
+                Direction::Ramp,
+                DirectionSet::single(Direction::West),
+            )]),
+        );
+
+        for x in 0..p - 1 {
+            let at = Coord::new(x, 0);
+            let forward = if x == 0 {
+                DirectionSet::single(Direction::Ramp)
+            } else {
+                west_ramp()
+            };
+            fabric.set_router_script(
+                at,
+                color,
+                ColorScript::new(vec![RouteRule::forever(Direction::East, forward)]),
+            );
+            let mut prog = PeProgram::new();
+            prog.recv_store(color, 0, b);
+            fabric.set_program(at, &prog);
+            fabric.set_local(at, &vec![0.0; b as usize]);
+        }
+
+        let report = fabric.run().expect("run succeeds");
+        for x in 0..p - 1 {
+            assert_eq!(fabric.local(Coord::new(x, 0))[..b as usize], data[..]);
+        }
+        // Broadcast energy matches a single message: B wavelets over P-1 links.
+        assert_eq!(report.energy_hops, (b * (p - 1)) as u64);
+        // Broadcast completes in about B + P + 2 T_R cycles.
+        let model = (b + p) as f64 + 4.0;
+        assert!((report.max_finish() as f64 - model).abs() / model < 0.35);
+    }
+
+    #[test]
+    fn hand_built_chain_reduce_sums_vectors() {
+        // Chain Reduce on a row of 4 PEs with alternating colors, root at x=0.
+        let p = 4u32;
+        let b = 6u32;
+        let dim = GridDim::row(p);
+        let mut fabric = Fabric::new(dim, FabricParams::default());
+        let op = ReduceOp::Sum;
+        let color_of = |x: u32| c((x % 2) as u8); // color a PE *sends* on
+
+        for x in 0..p {
+            let at = Coord::new(x, 0);
+            let data: Vec<f32> = (0..b).map(|i| (x * 10 + i) as f32).collect();
+            fabric.set_local(at, &data);
+            let mut prog = PeProgram::new();
+            if x == p - 1 {
+                prog.send(color_of(x), 0, b);
+            } else if x == 0 {
+                prog.recv_reduce(color_of(x + 1), 0, b, op);
+            } else {
+                prog.recv_forward(color_of(x + 1), color_of(x), 0, b, op, false);
+            }
+            fabric.set_program(at, &prog);
+
+            // Router: deliver the incoming color to the ramp, send own color west.
+            if x < p - 1 {
+                fabric.set_router_script(
+                    at,
+                    color_of(x + 1),
+                    ColorScript::new(vec![RouteRule::forever(
+                        Direction::East,
+                        DirectionSet::single(Direction::Ramp),
+                    )]),
+                );
+            }
+            if x > 0 {
+                fabric.set_router_script(
+                    at,
+                    color_of(x),
+                    ColorScript::new(vec![RouteRule::forever(
+                        Direction::Ramp,
+                        DirectionSet::single(Direction::West),
+                    )]),
+                );
+            }
+        }
+
+        let report = fabric.run().expect("run succeeds");
+        let expected: Vec<f32> = (0..b).map(|i| (10 + 20 + 30 + 4 * i) as f32).collect();
+        assert_eq!(fabric.local(Coord::new(0, 0))[..b as usize], expected[..]);
+        // T_Chain = B + (2 T_R + 2)(P - 1) = 6 + 18 = 24; allow pipeline slack.
+        let model = 24.0;
+        let measured = report.finish_of(0) as f64;
+        assert!(
+            (measured - model).abs() / model < 0.3,
+            "measured {measured} vs model {model}"
+        );
+        assert_eq!(report.max_received, b as u64);
+    }
+
+    #[test]
+    fn unconfigured_color_is_an_error() {
+        let dim = GridDim::row(2);
+        let mut fabric = Fabric::new(dim, FabricParams::default());
+        let mut prog = PeProgram::new();
+        prog.send(c(0), 0, 1);
+        fabric.set_program(Coord::new(1, 0), &prog);
+        fabric.set_local(Coord::new(1, 0), &[1.0]);
+        let err = fabric.run().unwrap_err();
+        assert!(matches!(err, FabricError::UnconfiguredColor { pe: 1, .. }));
+    }
+
+    #[test]
+    fn wrong_direction_rule_deadlocks() {
+        let dim = GridDim::row(2);
+        let mut fabric = Fabric::new(dim, FabricParams::default());
+        let color = c(0);
+        let mut prog = PeProgram::new();
+        prog.send(color, 0, 1);
+        fabric.set_program(Coord::new(1, 0), &prog);
+        fabric.set_local(Coord::new(1, 0), &[1.0]);
+        // The router only accepts from the West, but the wavelet arrives on
+        // the ramp: it stalls forever.
+        fabric.set_router_script(
+            Coord::new(1, 0),
+            color,
+            ColorScript::new(vec![RouteRule::forever(
+                Direction::West,
+                DirectionSet::single(Direction::East),
+            )]),
+        );
+        let err = fabric.run().unwrap_err();
+        assert!(matches!(err, FabricError::Deadlock { .. }));
+    }
+
+    #[test]
+    fn forwarding_off_the_grid_is_an_error() {
+        let dim = GridDim::row(2);
+        let mut fabric = Fabric::new(dim, FabricParams::default());
+        let color = c(0);
+        let mut prog = PeProgram::new();
+        prog.send(color, 0, 1);
+        fabric.set_program(Coord::new(1, 0), &prog);
+        fabric.set_local(Coord::new(1, 0), &[1.0]);
+        fabric.set_router_script(
+            Coord::new(1, 0),
+            color,
+            ColorScript::new(vec![RouteRule::forever(
+                Direction::Ramp,
+                DirectionSet::single(Direction::East),
+            )]),
+        );
+        let err = fabric.run().unwrap_err();
+        assert!(matches!(err, FabricError::ForwardOffGrid { pe: 1, direction: Direction::East }));
+    }
+
+    #[test]
+    fn counted_rules_serialise_two_senders() {
+        // Two PEs send to a middle receiver on the same color; the receiver's
+        // router first accepts everything from the East, then everything from
+        // the West (Figure 3's loose synchronisation).
+        let dim = GridDim::row(3);
+        let mut fabric = Fabric::new(dim, FabricParams::default());
+        let color = c(1);
+        let b = 4u32;
+
+        for (x, dir) in [(0u32, Direction::West), (2u32, Direction::East)] {
+            let at = Coord::new(x, 0);
+            let mut prog = PeProgram::new();
+            prog.send(color, 0, b);
+            fabric.set_program(at, &prog);
+            fabric.set_local(at, &vec![x as f32 + 1.0; b as usize]);
+            fabric.set_router_script(
+                at,
+                color,
+                ColorScript::new(vec![RouteRule::forever(
+                    Direction::Ramp,
+                    DirectionSet::single(dir.opposite()),
+                )]),
+            );
+        }
+
+        let middle = Coord::new(1, 0);
+        let mut prog = PeProgram::new();
+        prog.recv_reduce(color, 0, b, ReduceOp::Sum);
+        prog.recv_reduce(color, 0, b, ReduceOp::Sum);
+        fabric.set_program(middle, &prog);
+        fabric.set_local(middle, &vec![0.0; b as usize]);
+        fabric.set_router_script(
+            middle,
+            color,
+            ColorScript::new(vec![
+                RouteRule::counted(Direction::East, DirectionSet::single(Direction::Ramp), b as u64),
+                RouteRule::counted(Direction::West, DirectionSet::single(Direction::Ramp), b as u64),
+            ]),
+        );
+
+        fabric.run().expect("run succeeds");
+        assert_eq!(fabric.local(middle)[..b as usize], vec![4.0; b as usize][..]);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let run = || {
+            let mut fabric = message_fabric(8, 32);
+            fabric.run().expect("run succeeds")
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pipelining_sustains_one_wavelet_per_cycle() {
+        // For a long vector over a short row the runtime must be close to B,
+        // not 2B: the pipeline moves one wavelet per cycle per link.
+        let b = 512u32;
+        let mut fabric = message_fabric(3, b);
+        let report = fabric.run().expect("run succeeds");
+        assert!(
+            (report.finish_of(0) as f64) < b as f64 * 1.1 + 20.0,
+            "pipeline too slow: {} cycles for {} wavelets",
+            report.finish_of(0),
+            b
+        );
+    }
+}

@@ -1,0 +1,329 @@
+//! Grid geometry: coordinates, directions and direction sets.
+
+use std::fmt;
+
+/// One of the five router ports of a PE: the four mesh neighbours plus the
+/// ramp that connects the router to its own processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Direction {
+    /// Towards the row above (smaller `y`).
+    North,
+    /// Towards the next column (larger `x`).
+    East,
+    /// Towards the row below (larger `y`).
+    South,
+    /// Towards the previous column (smaller `x`).
+    West,
+    /// The ramp between the router and its processor.
+    Ramp,
+}
+
+impl Direction {
+    /// All five directions, in a fixed arbitration order.
+    pub const ALL: [Direction; 5] = [
+        Direction::West,
+        Direction::East,
+        Direction::North,
+        Direction::South,
+        Direction::Ramp,
+    ];
+
+    /// The four mesh directions (everything except the ramp).
+    pub const MESH: [Direction; 4] = [
+        Direction::West,
+        Direction::East,
+        Direction::North,
+        Direction::South,
+    ];
+
+    /// The direction a wavelet arrives from at the neighbouring router after
+    /// leaving through `self`. Panics for [`Direction::Ramp`].
+    pub fn opposite(self) -> Direction {
+        match self {
+            Direction::North => Direction::South,
+            Direction::South => Direction::North,
+            Direction::East => Direction::West,
+            Direction::West => Direction::East,
+            Direction::Ramp => panic!("the ramp has no opposite direction"),
+        }
+    }
+
+    /// Stable small index used for array-indexed per-port state.
+    pub fn index(self) -> usize {
+        match self {
+            Direction::North => 0,
+            Direction::East => 1,
+            Direction::South => 2,
+            Direction::West => 3,
+            Direction::Ramp => 4,
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Direction::North => "N",
+            Direction::East => "E",
+            Direction::South => "S",
+            Direction::West => "W",
+            Direction::Ramp => "RAMP",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A set of directions, used for the multicast forward set of a routing rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct DirectionSet(u8);
+
+impl DirectionSet {
+    /// The empty set.
+    pub const EMPTY: DirectionSet = DirectionSet(0);
+
+    /// A set with a single direction.
+    pub fn single(d: Direction) -> Self {
+        DirectionSet(1 << d.index())
+    }
+
+    /// Build a set from an iterator of directions.
+    pub fn from_iter<I: IntoIterator<Item = Direction>>(iter: I) -> Self {
+        let mut s = DirectionSet::EMPTY;
+        for d in iter {
+            s = s.with(d);
+        }
+        s
+    }
+
+    /// The set with `d` added.
+    #[must_use]
+    pub fn with(self, d: Direction) -> Self {
+        DirectionSet(self.0 | (1 << d.index()))
+    }
+
+    /// Whether `d` is in the set.
+    pub fn contains(self, d: Direction) -> bool {
+        self.0 & (1 << d.index()) != 0
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of directions in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Iterate over the directions in the set.
+    pub fn iter(self) -> impl Iterator<Item = Direction> {
+        Direction::ALL.into_iter().filter(move |d| self.contains(*d))
+    }
+}
+
+impl fmt::Display for DirectionSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for d in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{d}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Position of a PE in the grid. `x` is the column (grows towards the east),
+/// `y` is the row (grows towards the south). The PE at `(0, 0)` is the
+/// north-west corner, which the paper uses as the root of 2D collectives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Coord {
+    /// Column index.
+    pub x: u32,
+    /// Row index.
+    pub y: u32,
+}
+
+impl Coord {
+    /// Construct a coordinate.
+    pub fn new(x: u32, y: u32) -> Self {
+        Coord { x, y }
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+/// The rectangular extent of the simulated fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridDim {
+    /// Number of columns.
+    pub width: u32,
+    /// Number of rows.
+    pub height: u32,
+}
+
+impl GridDim {
+    /// A grid with the given number of columns and rows.
+    pub fn new(width: u32, height: u32) -> Self {
+        assert!(width >= 1 && height >= 1, "the grid must be non-empty");
+        GridDim { width, height }
+    }
+
+    /// A single row of `width` PEs (the 1D setting of §4–§6).
+    pub fn row(width: u32) -> Self {
+        GridDim::new(width, 1)
+    }
+
+    /// Total number of PEs.
+    pub fn num_pes(&self) -> usize {
+        self.width as usize * self.height as usize
+    }
+
+    /// Whether the coordinate lies inside the grid.
+    pub fn contains(&self, c: Coord) -> bool {
+        c.x < self.width && c.y < self.height
+    }
+
+    /// Linear index of a coordinate (row-major).
+    pub fn index(&self, c: Coord) -> usize {
+        debug_assert!(self.contains(c), "{c} outside {}x{} grid", self.width, self.height);
+        c.y as usize * self.width as usize + c.x as usize
+    }
+
+    /// Coordinate of a linear index.
+    pub fn coord(&self, index: usize) -> Coord {
+        debug_assert!(index < self.num_pes());
+        Coord::new((index % self.width as usize) as u32, (index / self.width as usize) as u32)
+    }
+
+    /// The neighbouring coordinate in the given mesh direction, if it exists.
+    pub fn neighbor(&self, c: Coord, d: Direction) -> Option<Coord> {
+        let (x, y) = (c.x as i64, c.y as i64);
+        let (nx, ny) = match d {
+            Direction::North => (x, y - 1),
+            Direction::South => (x, y + 1),
+            Direction::East => (x + 1, y),
+            Direction::West => (x - 1, y),
+            Direction::Ramp => return None,
+        };
+        if nx < 0 || ny < 0 || nx >= self.width as i64 || ny >= self.height as i64 {
+            None
+        } else {
+            Some(Coord::new(nx as u32, ny as u32))
+        }
+    }
+
+    /// Manhattan distance between two PEs (the number of hops a wavelet needs).
+    pub fn manhattan(&self, a: Coord, b: Coord) -> u32 {
+        a.x.abs_diff(b.x) + a.y.abs_diff(b.y)
+    }
+
+    /// Iterate over all coordinates in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = Coord> + '_ {
+        let dim = *self;
+        (0..dim.num_pes()).map(move |i| dim.coord(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direction_opposites_are_involutive() {
+        for d in Direction::MESH {
+            assert_eq!(d.opposite().opposite(), d);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn ramp_has_no_opposite() {
+        let _ = Direction::Ramp.opposite();
+    }
+
+    #[test]
+    fn direction_indices_are_unique() {
+        let mut seen = [false; 5];
+        for d in Direction::ALL {
+            assert!(!seen[d.index()]);
+            seen[d.index()] = true;
+        }
+    }
+
+    #[test]
+    fn direction_set_operations() {
+        let s = DirectionSet::single(Direction::West).with(Direction::Ramp);
+        assert!(s.contains(Direction::West));
+        assert!(s.contains(Direction::Ramp));
+        assert!(!s.contains(Direction::East));
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        assert_eq!(s.iter().count(), 2);
+        assert_eq!(DirectionSet::EMPTY.len(), 0);
+        let t = DirectionSet::from_iter([Direction::West, Direction::Ramp]);
+        assert_eq!(s, t);
+    }
+
+    #[test]
+    fn grid_indexing_roundtrips() {
+        let g = GridDim::new(7, 5);
+        for i in 0..g.num_pes() {
+            assert_eq!(g.index(g.coord(i)), i);
+        }
+        assert_eq!(g.num_pes(), 35);
+        assert_eq!(g.index(Coord::new(3, 2)), 2 * 7 + 3);
+    }
+
+    #[test]
+    fn neighbors_respect_grid_bounds() {
+        let g = GridDim::new(3, 2);
+        assert_eq!(g.neighbor(Coord::new(0, 0), Direction::West), None);
+        assert_eq!(g.neighbor(Coord::new(0, 0), Direction::North), None);
+        assert_eq!(
+            g.neighbor(Coord::new(0, 0), Direction::East),
+            Some(Coord::new(1, 0))
+        );
+        assert_eq!(
+            g.neighbor(Coord::new(1, 0), Direction::South),
+            Some(Coord::new(1, 1))
+        );
+        assert_eq!(g.neighbor(Coord::new(2, 1), Direction::East), None);
+        assert_eq!(g.neighbor(Coord::new(2, 1), Direction::South), None);
+        assert_eq!(g.neighbor(Coord::new(1, 1), Direction::Ramp), None);
+    }
+
+    #[test]
+    fn row_grid_is_one_dimensional() {
+        let g = GridDim::row(16);
+        assert_eq!(g.height, 1);
+        assert_eq!(g.num_pes(), 16);
+        assert_eq!(g.neighbor(Coord::new(5, 0), Direction::North), None);
+        assert_eq!(g.neighbor(Coord::new(5, 0), Direction::South), None);
+    }
+
+    #[test]
+    fn manhattan_distance() {
+        let g = GridDim::new(10, 10);
+        assert_eq!(g.manhattan(Coord::new(0, 0), Coord::new(9, 9)), 18);
+        assert_eq!(g.manhattan(Coord::new(3, 4), Coord::new(3, 4)), 0);
+        assert_eq!(g.manhattan(Coord::new(2, 7), Coord::new(5, 1)), 9);
+    }
+
+    #[test]
+    fn iteration_covers_every_pe_once() {
+        let g = GridDim::new(4, 3);
+        let coords: Vec<_> = g.iter().collect();
+        assert_eq!(coords.len(), 12);
+        assert_eq!(coords[0], Coord::new(0, 0));
+        assert_eq!(coords[11], Coord::new(3, 2));
+    }
+}

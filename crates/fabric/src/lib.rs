@@ -1,0 +1,93 @@
+//! # wse-fabric — a cycle-level simulator of a wafer-scale 2D mesh fabric
+//!
+//! This crate is the hardware substrate of the *Near-Optimal Wafer-Scale
+//! Reduce* reproduction. The paper's experiments run on a Cerebras CS-2;
+//! without that machine (or its proprietary toolchain and fabric simulator)
+//! this crate provides a from-scratch, deterministic, cycle-stepped model of
+//! the architectural features the paper's collectives rely on (§2.2):
+//!
+//! * a 2D mesh of PEs, each pairing a **router** with a **processor** and
+//!   local memory,
+//! * 32-bit **wavelets** routed by **color**, with per-color routing
+//!   configurations that can switch at runtime (by wavelet count or control
+//!   wavelets) and that **stall** wavelets arriving from directions the
+//!   active rule does not accept,
+//! * **multicast**: a router duplicates an accepted wavelet to several
+//!   outputs at no extra cost,
+//! * one wavelet per link direction per cycle (32 bits/cycle), one-hop
+//!   per-cycle latency, and a **ramp latency** `T_R` between router and
+//!   processor,
+//! * per-PE **programs** built from vectorised send / receive-and-reduce /
+//!   pipelined-forward operations (the DSD-style operations of CSL),
+//! * per-PE **clock skew** and optional **thermal no-op** injection, plus the
+//!   clock-synchronisation measurement methodology of §8.3.
+//!
+//! The companion crate `wse-collectives` compiles the paper's Reduce /
+//! AllReduce / Broadcast algorithms into router scripts and PE programs and
+//! executes them on this fabric; the measured cycle counts are then compared
+//! with the analytic predictions of `wse-model`.
+//!
+//! ## Example: a two-PE message
+//!
+//! ```
+//! use wse_fabric::geometry::{Coord, Direction, DirectionSet, GridDim};
+//! use wse_fabric::program::PeProgram;
+//! use wse_fabric::router::{ColorScript, RouteRule};
+//! use wse_fabric::wavelet::Color;
+//! use wse_fabric::{Fabric, FabricParams};
+//!
+//! let dim = GridDim::row(2);
+//! let mut fabric = Fabric::new(dim, FabricParams::default());
+//! let color = Color::new(0);
+//!
+//! // PE (1,0) sends four values westwards.
+//! let mut sender = PeProgram::new();
+//! sender.send(color, 0, 4);
+//! fabric.set_program(Coord::new(1, 0), &sender);
+//! fabric.set_local(Coord::new(1, 0), &[1.0, 2.0, 3.0, 4.0]);
+//! fabric.set_router_script(
+//!     Coord::new(1, 0),
+//!     color,
+//!     ColorScript::new(vec![RouteRule::forever(
+//!         Direction::Ramp,
+//!         DirectionSet::single(Direction::West),
+//!     )]),
+//! );
+//!
+//! // PE (0,0) receives them.
+//! let mut receiver = PeProgram::new();
+//! receiver.recv_store(color, 0, 4);
+//! fabric.set_program(Coord::new(0, 0), &receiver);
+//! fabric.set_local(Coord::new(0, 0), &[0.0; 4]);
+//! fabric.set_router_script(
+//!     Coord::new(0, 0),
+//!     color,
+//!     ColorScript::new(vec![RouteRule::forever(
+//!         Direction::East,
+//!         DirectionSet::single(Direction::Ramp),
+//!     )]),
+//! );
+//!
+//! let report = fabric.run().unwrap();
+//! assert_eq!(fabric.local(Coord::new(0, 0)), &[1.0, 2.0, 3.0, 4.0]);
+//! assert!(report.cycles > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod clock;
+pub mod engine;
+pub mod geometry;
+pub mod measure;
+pub mod pe;
+pub mod program;
+pub mod router;
+pub mod wavelet;
+
+pub use clock::{ClockModel, NoiseModel};
+pub use engine::{Fabric, FabricError, FabricParams, RunReport};
+pub use geometry::{Coord, Direction, DirectionSet, GridDim};
+pub use program::{Instruction, PeProgram, RecvMode, ReduceOp};
+pub use router::{ColorScript, RouteDecision, RouteRule, Router};
+pub use wavelet::{Color, Wavelet};

@@ -1,0 +1,347 @@
+//! The per-PE program model.
+//!
+//! Real WSE kernels are written in CSL as dataflow tasks triggered by
+//! arriving wavelets and described with data structure descriptors (DSDs).
+//! For the collectives in the paper every PE executes a *statically known*
+//! sequence of vectorised send/receive/accumulate operations whose lengths
+//! are fixed at code-generation time, so this crate models a PE program as an
+//! ordered list of [`Instruction`]s. Each instruction processes at most one
+//! wavelet per cycle, which matches the single ramp port of the hardware
+//! (§7: "we cannot send one packet on the y-axis and another on the x-axis
+//! each cycle").
+
+use crate::wavelet::Color;
+
+/// The associative element-wise operation applied by a Reduce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ReduceOp {
+    /// Element-wise sum (the paper's default).
+    #[default]
+    Sum,
+    /// Element-wise maximum.
+    Max,
+    /// Element-wise minimum.
+    Min,
+    /// Element-wise product.
+    Prod,
+}
+
+impl ReduceOp {
+    /// Apply the operation to two `f32` operands.
+    pub fn apply(&self, a: f32, b: f32) -> f32 {
+        match self {
+            ReduceOp::Sum => a + b,
+            ReduceOp::Max => a.max(b),
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Prod => a * b,
+        }
+    }
+
+    /// The identity element of the operation.
+    pub fn identity(&self) -> f32 {
+        match self {
+            ReduceOp::Sum => 0.0,
+            ReduceOp::Max => f32::NEG_INFINITY,
+            ReduceOp::Min => f32::INFINITY,
+            ReduceOp::Prod => 1.0,
+        }
+    }
+}
+
+/// What a PE does with a received wavelet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RecvMode {
+    /// Overwrite the local element (used by Broadcast and AllGather).
+    Store,
+    /// Combine with the local element using the reduce operation.
+    Reduce(ReduceOp),
+}
+
+/// One vectorised operation of a PE program.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Instruction {
+    /// Send `len` consecutive local elements starting at `offset` on `color`,
+    /// one wavelet per cycle. If `last_control` is set, the final wavelet is
+    /// marked as a control wavelet (advancing downstream routing rules that
+    /// wait for one).
+    Send {
+        /// Routing color of the outgoing wavelets.
+        color: Color,
+        /// First local element to send.
+        offset: u32,
+        /// Number of elements to send.
+        len: u32,
+        /// Mark the last wavelet as a control wavelet.
+        last_control: bool,
+    },
+    /// Receive `len` wavelets on `color` and store/accumulate them into the
+    /// local elements starting at `offset`.
+    Recv {
+        /// Routing color of the expected wavelets.
+        color: Color,
+        /// First local element to update.
+        offset: u32,
+        /// Number of elements to receive.
+        len: u32,
+        /// Whether to overwrite or accumulate.
+        mode: RecvMode,
+    },
+    /// The pipelined chain step: for each of `len` elements, receive a
+    /// wavelet on `recv_color`, combine it with the local element, forward
+    /// the combined value on `send_color` in the same cycle, and (optionally)
+    /// keep the combined value locally.
+    RecvForward {
+        /// Color the partial sums arrive on.
+        recv_color: Color,
+        /// Color the combined values leave on.
+        send_color: Color,
+        /// First local element to combine.
+        offset: u32,
+        /// Number of elements in the pipeline.
+        len: u32,
+        /// The combining operation.
+        op: ReduceOp,
+        /// Whether to keep the combined value in local memory (AllReduce-style
+        /// chains keep it, pure Reduce chains may discard it).
+        keep: bool,
+        /// Mark the last forwarded wavelet as a control wavelet.
+        last_control: bool,
+    },
+    /// Busy-wait for a number of cycles (local computation, or the calibrated
+    /// start-staggering writes of the measurement methodology in §8.3).
+    Compute {
+        /// Number of cycles to spend.
+        cycles: u32,
+    },
+    /// Full-duplex exchange used by the Ring AllReduce (§6.2): send `len`
+    /// local elements starting at `send_offset` while simultaneously
+    /// receiving `len` wavelets into the elements starting at `recv_offset`.
+    /// Sending and receiving progress independently (one wavelet each per
+    /// cycle), which is what prevents a ring of PEs that all "send first"
+    /// from deadlocking on finite buffering.
+    Exchange {
+        /// Color of the outgoing wavelets.
+        send_color: Color,
+        /// First local element to send.
+        send_offset: u32,
+        /// Color of the expected incoming wavelets.
+        recv_color: Color,
+        /// First local element to update.
+        recv_offset: u32,
+        /// Number of elements exchanged in each direction.
+        len: u32,
+        /// How incoming wavelets are combined with local elements.
+        mode: RecvMode,
+    },
+}
+
+impl Instruction {
+    /// Number of wavelets this instruction injects into the fabric.
+    pub fn wavelets_sent(&self) -> u64 {
+        match self {
+            Instruction::Send { len, .. } => *len as u64,
+            Instruction::RecvForward { len, .. } => *len as u64,
+            Instruction::Exchange { len, .. } => *len as u64,
+            _ => 0,
+        }
+    }
+
+    /// Number of wavelets this instruction consumes from the fabric.
+    pub fn wavelets_received(&self) -> u64 {
+        match self {
+            Instruction::Recv { len, .. } => *len as u64,
+            Instruction::RecvForward { len, .. } => *len as u64,
+            Instruction::Exchange { len, .. } => *len as u64,
+            _ => 0,
+        }
+    }
+}
+
+/// An ordered list of instructions executed by one PE.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PeProgram {
+    instructions: Vec<Instruction>,
+}
+
+impl PeProgram {
+    /// An empty program (the PE participates only through its router).
+    pub fn new() -> Self {
+        PeProgram::default()
+    }
+
+    /// The instructions of the program.
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
+    /// Whether the program contains no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// Append a raw instruction.
+    pub fn push(&mut self, instruction: Instruction) -> &mut Self {
+        self.instructions.push(instruction);
+        self
+    }
+
+    /// Append a [`Instruction::Send`] of `len` elements at `offset`.
+    pub fn send(&mut self, color: Color, offset: u32, len: u32) -> &mut Self {
+        self.push(Instruction::Send { color, offset, len, last_control: false })
+    }
+
+    /// Append a [`Instruction::Send`] whose last wavelet is a control wavelet.
+    pub fn send_with_control(&mut self, color: Color, offset: u32, len: u32) -> &mut Self {
+        self.push(Instruction::Send { color, offset, len, last_control: true })
+    }
+
+    /// Append a [`Instruction::Recv`] that overwrites local elements.
+    pub fn recv_store(&mut self, color: Color, offset: u32, len: u32) -> &mut Self {
+        self.push(Instruction::Recv { color, offset, len, mode: RecvMode::Store })
+    }
+
+    /// Append a [`Instruction::Recv`] that accumulates into local elements.
+    pub fn recv_reduce(&mut self, color: Color, offset: u32, len: u32, op: ReduceOp) -> &mut Self {
+        self.push(Instruction::Recv { color, offset, len, mode: RecvMode::Reduce(op) })
+    }
+
+    /// Append a pipelined [`Instruction::RecvForward`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn recv_forward(
+        &mut self,
+        recv_color: Color,
+        send_color: Color,
+        offset: u32,
+        len: u32,
+        op: ReduceOp,
+        keep: bool,
+    ) -> &mut Self {
+        self.push(Instruction::RecvForward {
+            recv_color,
+            send_color,
+            offset,
+            len,
+            op,
+            keep,
+            last_control: false,
+        })
+    }
+
+    /// Append a [`Instruction::Compute`] busy-wait.
+    pub fn compute(&mut self, cycles: u32) -> &mut Self {
+        self.push(Instruction::Compute { cycles })
+    }
+
+    /// Append a full-duplex [`Instruction::Exchange`].
+    pub fn exchange(
+        &mut self,
+        send_color: Color,
+        send_offset: u32,
+        recv_color: Color,
+        recv_offset: u32,
+        len: u32,
+        mode: RecvMode,
+    ) -> &mut Self {
+        self.push(Instruction::Exchange {
+            send_color,
+            send_offset,
+            recv_color,
+            recv_offset,
+            len,
+            mode,
+        })
+    }
+
+    /// Total number of wavelets the program sends.
+    pub fn total_sent(&self) -> u64 {
+        self.instructions.iter().map(Instruction::wavelets_sent).sum()
+    }
+
+    /// Total number of wavelets the program receives.
+    pub fn total_received(&self) -> u64 {
+        self.instructions.iter().map(Instruction::wavelets_received).sum()
+    }
+
+    /// The smallest local vector length required by the program's offsets.
+    pub fn required_memory(&self) -> u32 {
+        self.instructions
+            .iter()
+            .map(|i| match i {
+                Instruction::Send { offset, len, .. }
+                | Instruction::Recv { offset, len, .. }
+                | Instruction::RecvForward { offset, len, .. } => offset + len,
+                Instruction::Exchange { send_offset, recv_offset, len, .. } => {
+                    (send_offset + len).max(recv_offset + len)
+                }
+                Instruction::Compute { .. } => 0,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduce_ops_apply_and_have_identities() {
+        assert_eq!(ReduceOp::Sum.apply(2.0, 3.0), 5.0);
+        assert_eq!(ReduceOp::Max.apply(2.0, 3.0), 3.0);
+        assert_eq!(ReduceOp::Min.apply(2.0, 3.0), 2.0);
+        assert_eq!(ReduceOp::Prod.apply(2.0, 3.0), 6.0);
+        for op in [ReduceOp::Sum, ReduceOp::Max, ReduceOp::Min, ReduceOp::Prod] {
+            for v in [-3.5f32, 0.0, 7.25] {
+                assert_eq!(op.apply(op.identity(), v), v);
+            }
+        }
+    }
+
+    #[test]
+    fn builder_appends_in_order() {
+        let c0 = Color::new(0);
+        let c1 = Color::new(1);
+        let mut p = PeProgram::new();
+        p.recv_reduce(c0, 0, 16, ReduceOp::Sum).send(c1, 0, 16).compute(5);
+        assert_eq!(p.len(), 3);
+        assert!(matches!(p.instructions()[0], Instruction::Recv { .. }));
+        assert!(matches!(p.instructions()[1], Instruction::Send { .. }));
+        assert!(matches!(p.instructions()[2], Instruction::Compute { cycles: 5 }));
+    }
+
+    #[test]
+    fn wavelet_accounting() {
+        let c0 = Color::new(0);
+        let c1 = Color::new(1);
+        let mut p = PeProgram::new();
+        p.recv_forward(c0, c1, 0, 32, ReduceOp::Sum, false);
+        p.send(c1, 0, 8);
+        p.recv_store(c0, 8, 4);
+        assert_eq!(p.total_sent(), 40);
+        assert_eq!(p.total_received(), 36);
+        assert_eq!(p.required_memory(), 32);
+    }
+
+    #[test]
+    fn empty_program_is_empty() {
+        let p = PeProgram::new();
+        assert!(p.is_empty());
+        assert_eq!(p.total_sent(), 0);
+        assert_eq!(p.required_memory(), 0);
+    }
+
+    #[test]
+    fn control_send_is_marked() {
+        let mut p = PeProgram::new();
+        p.send_with_control(Color::new(2), 0, 10);
+        match p.instructions()[0] {
+            Instruction::Send { last_control, .. } => assert!(last_control),
+            _ => panic!("expected a send"),
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Wavelets and colors: the 32-bit routed packets of the fabric.
+
+use std::fmt;
+
+/// A routing color. The CS-2 offers 24 colors to applications; the routing
+/// configuration of every router is maintained per color.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Color(pub u8);
+
+impl Color {
+    /// Number of colors available on the modelled hardware.
+    pub const MAX_COLORS: u8 = 24;
+
+    /// Construct a color, panicking if it exceeds the hardware limit.
+    pub fn new(id: u8) -> Self {
+        assert!(
+            id < Self::MAX_COLORS,
+            "color {id} exceeds the hardware limit of {} colors",
+            Self::MAX_COLORS
+        );
+        Color(id)
+    }
+
+    /// The raw color id.
+    pub fn id(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for Color {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// A 32-bit wavelet travelling through the fabric.
+///
+/// The payload is an opaque 32-bit word; collectives store IEEE-754 `f32`
+/// values (the paper's experiments use 32-bit floats throughout). The
+/// `control` flag marks wavelets that advance the routing configuration of
+/// the routers they traverse (§2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Wavelet {
+    /// The 32-bit payload.
+    pub data: u32,
+    /// The routing color.
+    pub color: Color,
+    /// Whether this is a control wavelet.
+    pub control: bool,
+}
+
+impl Wavelet {
+    /// A data wavelet carrying a raw 32-bit word.
+    pub fn data(color: Color, data: u32) -> Self {
+        Wavelet { data, color, control: false }
+    }
+
+    /// A data wavelet carrying an `f32` value.
+    pub fn from_f32(color: Color, value: f32) -> Self {
+        Wavelet { data: value.to_bits(), color, control: false }
+    }
+
+    /// Interpret the payload as an `f32`.
+    pub fn as_f32(&self) -> f32 {
+        f32::from_bits(self.data)
+    }
+
+    /// Mark this wavelet as a control wavelet.
+    #[must_use]
+    pub fn with_control(mut self, control: bool) -> Self {
+        self.control = control;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn color_limit_matches_hardware() {
+        assert_eq!(Color::MAX_COLORS, 24);
+        let c = Color::new(23);
+        assert_eq!(c.id(), 23);
+    }
+
+    #[test]
+    #[should_panic]
+    fn color_beyond_limit_panics() {
+        let _ = Color::new(24);
+    }
+
+    #[test]
+    fn f32_payload_roundtrips() {
+        let c = Color::new(3);
+        for v in [0.0f32, -1.5, 3.25e7, f32::MIN_POSITIVE, -0.0] {
+            let w = Wavelet::from_f32(c, v);
+            assert_eq!(w.as_f32().to_bits(), v.to_bits());
+            assert!(!w.control);
+        }
+    }
+
+    #[test]
+    fn control_flag_is_preserved() {
+        let w = Wavelet::data(Color::new(0), 42).with_control(true);
+        assert!(w.control);
+        assert_eq!(w.data, 42);
+        let w2 = w.with_control(false);
+        assert!(!w2.control);
+    }
+}

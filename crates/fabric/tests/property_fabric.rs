@@ -1,0 +1,229 @@
+//! Property-based tests of the fabric simulator: data integrity, ordering,
+//! conservation and determinism for randomly sized transfers.
+
+use proptest::prelude::*;
+
+use wse_fabric::geometry::{Coord, Direction, DirectionSet, GridDim};
+use wse_fabric::measure::{self, Timestamps};
+use wse_fabric::program::{PeProgram, RecvMode, ReduceOp};
+use wse_fabric::router::{ColorScript, RouteRule};
+use wse_fabric::wavelet::Color;
+use wse_fabric::{ClockModel, Fabric, FabricParams, NoiseModel};
+
+/// Build a fabric where the rightmost PE of a `p`-PE row streams `data`
+/// westwards to the leftmost PE.
+fn message_fabric(p: u32, data: &[f32], params: FabricParams) -> Fabric {
+    let dim = GridDim::row(p);
+    let mut fabric = Fabric::new(dim, params);
+    let color = Color::new(0);
+    let b = data.len() as u32;
+
+    let sender = Coord::new(p - 1, 0);
+    let mut prog = PeProgram::new();
+    prog.send(color, 0, b);
+    fabric.set_program(sender, &prog);
+    fabric.set_local(sender, data);
+    fabric.set_router_script(
+        sender,
+        color,
+        ColorScript::new(vec![RouteRule::forever(
+            Direction::Ramp,
+            DirectionSet::single(Direction::West),
+        )]),
+    );
+    for x in 1..p - 1 {
+        fabric.set_router_script(
+            Coord::new(x, 0),
+            color,
+            ColorScript::new(vec![RouteRule::forever(
+                Direction::East,
+                DirectionSet::single(Direction::West),
+            )]),
+        );
+    }
+    let receiver = Coord::new(0, 0);
+    let mut prog = PeProgram::new();
+    prog.recv_store(color, 0, b);
+    fabric.set_program(receiver, &prog);
+    fabric.set_local(receiver, &vec![0.0; b as usize]);
+    fabric.set_router_script(
+        receiver,
+        color,
+        ColorScript::new(vec![RouteRule::forever(
+            Direction::East,
+            DirectionSet::single(Direction::Ramp),
+        )]),
+    );
+    fabric
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Any payload is delivered bit-exactly, in order, with energy equal to
+    /// `len · (P − 1)` hops and contention equal to `len`.
+    #[test]
+    fn messages_are_delivered_exactly(
+        p in 2u32..48,
+        data in proptest::collection::vec(-1e30f32..1e30, 1..128),
+    ) {
+        let mut fabric = message_fabric(p, &data, FabricParams::default());
+        let report = fabric.run().unwrap();
+        prop_assert_eq!(&fabric.local(Coord::new(0, 0))[..data.len()], &data[..]);
+        prop_assert_eq!(report.energy_hops, data.len() as u64 * (p as u64 - 1));
+        prop_assert_eq!(report.max_received, data.len() as u64);
+        prop_assert_eq!(report.links_used, p as u64 - 1);
+    }
+
+    /// The runtime of a message stays within a small band around the model's
+    /// `B + P + 2·T_R` for every ramp latency.
+    #[test]
+    fn message_runtime_tracks_model_for_all_ramp_latencies(
+        p in 2u32..40,
+        len in 1usize..96,
+        t_r in 1u64..6,
+    ) {
+        let data = vec![1.0f32; len];
+        let mut fabric = message_fabric(p, &data, FabricParams::with_ramp_latency(t_r));
+        let report = fabric.run().unwrap();
+        let measured = report.finish_of(0) as f64;
+        let model = len as f64 + p as f64 + 2.0 * t_r as f64;
+        prop_assert!((measured - model).abs() <= 0.3 * model + 6.0,
+            "p={p} len={len} t_r={t_r}: measured {measured} vs model {model}");
+    }
+
+    /// Thermal noise only slows execution down and never corrupts data.
+    #[test]
+    fn thermal_noise_preserves_correctness(
+        p in 2u32..24,
+        len in 1usize..64,
+        noise in 0.0f64..0.3,
+        seed in 0u64..1000,
+    ) {
+        let data: Vec<f32> = (0..len).map(|i| i as f32 * 0.5 - 3.0).collect();
+        let mut clean = message_fabric(p, &data, FabricParams::default());
+        let clean_report = clean.run().unwrap();
+
+        let mut noisy = message_fabric(p, &data, FabricParams::default());
+        noisy.set_noise(Some(NoiseModel::new(noise, seed)));
+        let noisy_report = noisy.run().unwrap();
+
+        prop_assert_eq!(&noisy.local(Coord::new(0, 0))[..len], &data[..]);
+        prop_assert!(noisy_report.finish_of(0) >= clean_report.finish_of(0));
+    }
+
+    /// Simulation is deterministic: identical configurations produce
+    /// identical reports.
+    #[test]
+    fn runs_are_deterministic(p in 2u32..24, len in 1usize..64) {
+        let data: Vec<f32> = (0..len).map(|i| (i as f32).cos()).collect();
+        let mut a = message_fabric(p, &data, FabricParams::default());
+        let mut b = message_fabric(p, &data, FabricParams::default());
+        prop_assert_eq!(a.run().unwrap(), b.run().unwrap());
+    }
+
+    /// Two senders serialised by counted routing rules always produce the
+    /// correct sum, whatever the lengths involved.
+    #[test]
+    fn counted_rules_serialise_concurrent_senders(left in 1u32..48, right in 1u32..48) {
+        let b = left.min(right);
+        let dim = GridDim::row(3);
+        let mut fabric = Fabric::new(dim, FabricParams::default());
+        let color = Color::new(1);
+        for (x, towards) in [(0u32, Direction::East), (2u32, Direction::West)] {
+            let at = Coord::new(x, 0);
+            let mut prog = PeProgram::new();
+            prog.send(color, 0, b);
+            fabric.set_program(at, &prog);
+            fabric.set_local(at, &vec![x as f32 + 1.0; b as usize]);
+            fabric.set_router_script(
+                at,
+                color,
+                ColorScript::new(vec![RouteRule::forever(Direction::Ramp, DirectionSet::single(towards))]),
+            );
+        }
+        let middle = Coord::new(1, 0);
+        let mut prog = PeProgram::new();
+        prog.recv_reduce(color, 0, b, ReduceOp::Sum);
+        prog.recv_reduce(color, 0, b, ReduceOp::Sum);
+        fabric.set_program(middle, &prog);
+        fabric.set_local(middle, &vec![0.0; b as usize]);
+        fabric.set_router_script(
+            middle,
+            color,
+            ColorScript::new(vec![
+                RouteRule::counted(Direction::East, DirectionSet::single(Direction::Ramp), b as u64),
+                RouteRule::counted(Direction::West, DirectionSet::single(Direction::Ramp), b as u64),
+            ]),
+        );
+        fabric.run().unwrap();
+        prop_assert_eq!(&fabric.local(middle)[..b as usize], &vec![4.0f32; b as usize][..]);
+    }
+
+    /// A full-duplex exchange between two PEs swaps both payloads intact.
+    #[test]
+    fn exchange_swaps_payloads(
+        len in 1usize..64,
+        east in proptest::collection::vec(-1e6f32..1e6, 1..64),
+    ) {
+        prop_assume!(east.len() >= len);
+        let east = &east[..len];
+        let west: Vec<f32> = east.iter().map(|v| v * 0.5 - 1.0).collect();
+        let dim = GridDim::row(2);
+        let mut fabric = Fabric::new(dim, FabricParams::default());
+        let c_we = Color::new(0); // west -> east
+        let c_ew = Color::new(1); // east -> west
+
+        let west_pe = Coord::new(0, 0);
+        let east_pe = Coord::new(1, 0);
+        let mut prog = PeProgram::new();
+        prog.exchange(c_we, 0, c_ew, len as u32, len as u32, RecvMode::Store);
+        fabric.set_program(west_pe, &prog);
+        let mut local = west.clone();
+        local.resize(2 * len, 0.0);
+        fabric.set_local(west_pe, &local);
+        fabric.set_router_script(west_pe, c_we, ColorScript::new(vec![RouteRule::forever(Direction::Ramp, DirectionSet::single(Direction::East))]));
+        fabric.set_router_script(west_pe, c_ew, ColorScript::new(vec![RouteRule::forever(Direction::East, DirectionSet::single(Direction::Ramp))]));
+
+        let mut prog = PeProgram::new();
+        prog.exchange(c_ew, 0, c_we, len as u32, len as u32, RecvMode::Store);
+        fabric.set_program(east_pe, &prog);
+        let mut local = east.to_vec();
+        local.resize(2 * len, 0.0);
+        fabric.set_local(east_pe, &local);
+        fabric.set_router_script(east_pe, c_ew, ColorScript::new(vec![RouteRule::forever(Direction::Ramp, DirectionSet::single(Direction::West))]));
+        fabric.set_router_script(east_pe, c_we, ColorScript::new(vec![RouteRule::forever(Direction::West, DirectionSet::single(Direction::Ramp))]));
+
+        fabric.run().unwrap();
+        prop_assert_eq!(&fabric.local(west_pe)[len..2 * len], east);
+        prop_assert_eq!(&fabric.local(east_pe)[len..2 * len], &west[..]);
+    }
+
+    /// The §8.3 correction cancels arbitrary clock offsets exactly in an
+    /// ideal (no-noise) system.
+    #[test]
+    fn clock_correction_is_exact_for_any_skew(
+        width in 2u32..24,
+        height in 1u32..8,
+        duration in 1u64..100_000,
+        skew in 0u64..1_000_000,
+        seed in 0u64..1000,
+    ) {
+        let dims = GridDim::new(width, height);
+        let clock = ClockModel::random(dims.num_pes(), skew, seed);
+        let mut reference = Vec::new();
+        let mut start = Vec::new();
+        let mut end = Vec::new();
+        for c in dims.iter() {
+            let arrival = measure::reference_delay(c);
+            let begin = arrival + measure::stagger_writes(dims, c, 1.0);
+            reference.push(arrival);
+            start.push(begin);
+            end.push(begin + duration);
+        }
+        let ts = Timestamps::from_true_times(&clock, &reference, &start, &end);
+        let m = measure::measure(dims, &ts);
+        prop_assert_eq!(m.start_spread, 0);
+        prop_assert_eq!(m.duration, duration);
+    }
+}

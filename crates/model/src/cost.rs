@@ -1,0 +1,179 @@
+//! The spatial cost terms and the runtime estimate of Eq. (1).
+
+use crate::Machine;
+
+/// The spatial cost terms of a communication pattern (Table 1 of the paper).
+///
+/// All quantities are measured in wavelets and hops. A [`CostTerms`] value
+/// describes a *pattern*, not a runtime: the runtime estimate is obtained by
+/// [`CostTerms::predict`], which combines the terms with the machine's ramp
+/// latency according to Eq. (1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostTerms {
+    /// Energy `E`: total number of hops the network routes wavelets for.
+    pub energy: f64,
+    /// Distance `L`: the largest number of hops any single wavelet travels.
+    pub distance: f64,
+    /// Depth `D`: the longest sequence of PEs performing operations that
+    /// depend on each other's output.
+    pub depth: f64,
+    /// Contention `C`: the largest number of wavelets a single PE sends or
+    /// receives.
+    pub contention: f64,
+    /// Number of links `N` the pattern uses overall.
+    pub links: f64,
+}
+
+impl CostTerms {
+    /// Construct cost terms from integer quantities.
+    pub fn new(energy: u64, distance: u64, depth: u64, contention: u64, links: u64) -> Self {
+        CostTerms {
+            energy: energy as f64,
+            distance: distance as f64,
+            depth: depth as f64,
+            contention: contention as f64,
+            links: links as f64,
+        }
+    }
+
+    /// The runtime estimate of Eq. (1):
+    ///
+    /// ```text
+    /// T = max(C, E/N + L) + (2·T_R + 1)·D
+    /// ```
+    ///
+    /// in cycles. The `E/N + L` term models network limited execution (the
+    /// pattern's wavelets share `N` links and the farthest wavelet needs `L`
+    /// hops); the `C` term models a pipeline that stalls at the most
+    /// contended PE; each unit of depth pays the ramp round trip plus one
+    /// cycle to store the received element.
+    pub fn predict(&self, machine: &Machine) -> f64 {
+        let network = if self.links > 0.0 {
+            self.energy / self.links + self.distance
+        } else {
+            self.distance
+        };
+        let steady = self.contention.max(network);
+        steady + machine.depth_overhead() as f64 * self.depth
+    }
+
+    /// The runtime estimate in microseconds at the machine's clock rate.
+    pub fn predict_us(&self, machine: &Machine) -> f64 {
+        machine.cycles_to_us(self.predict(machine))
+    }
+
+    /// Sequential composition of two patterns: the second pattern starts
+    /// only after the first finished (e.g. Reduce followed by Broadcast,
+    /// or the X phase followed by the Y phase of an X-Y Reduce).
+    ///
+    /// The terms of a sequential composition are *not* simply additive in
+    /// the model — the runtime estimate is — so this helper exists for
+    /// composing term bookkeeping when a combined pattern is itself analysed
+    /// as a unit. Runtime prediction of composites should normally add the
+    /// per-phase predictions instead (`T = T_1 + T_2`), which is what the
+    /// paper does (§6.1, §7.2).
+    pub fn sequential(&self, other: &CostTerms) -> CostTerms {
+        CostTerms {
+            energy: self.energy + other.energy,
+            distance: self.distance.max(other.distance),
+            depth: self.depth + other.depth,
+            contention: self.contention + other.contention,
+            links: self.links.max(other.links),
+        }
+    }
+}
+
+/// A runtime prediction broken down into its contributing components, in
+/// cycles. Useful for explaining *why* an algorithm behaves the way it does
+/// (e.g. "chain is depth dominated for small vectors").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredictionBreakdown {
+    /// The contention term `C`.
+    pub contention: f64,
+    /// The network term `E/N + L`.
+    pub network: f64,
+    /// The depth term `(2·T_R + 1)·D`.
+    pub depth: f64,
+    /// The total estimate (Eq. 1).
+    pub total: f64,
+}
+
+impl CostTerms {
+    /// Break the prediction of Eq. (1) into its components.
+    pub fn breakdown(&self, machine: &Machine) -> PredictionBreakdown {
+        let network = if self.links > 0.0 {
+            self.energy / self.links + self.distance
+        } else {
+            self.distance
+        };
+        let depth = machine.depth_overhead() as f64 * self.depth;
+        PredictionBreakdown {
+            contention: self.contention,
+            network,
+            depth,
+            total: self.contention.max(network) + depth,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prediction_matches_manual_formula() {
+        let m = Machine::wse2();
+        // E=100, L=10, D=3, C=25, N=5 -> max(25, 100/5+10) + 5*3 = 30 + 15 = 45
+        let c = CostTerms::new(100, 10, 3, 25, 5);
+        assert!((c.predict(&m) - 45.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contention_dominated_prediction() {
+        let m = Machine::wse2();
+        // max(200, 100/5+10) + 5*1 = 200 + 5
+        let c = CostTerms::new(100, 10, 1, 200, 5);
+        assert!((c.predict(&m) - 205.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_links_falls_back_to_distance() {
+        let m = Machine::wse2();
+        let c = CostTerms {
+            energy: 0.0,
+            distance: 7.0,
+            depth: 1.0,
+            contention: 3.0,
+            links: 0.0,
+        };
+        assert!((c.predict(&m) - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let m = Machine::wse2();
+        let c = CostTerms::new(1000, 63, 7, 512, 63);
+        let b = c.breakdown(&m);
+        assert!((b.total - c.predict(&m)).abs() < 1e-12);
+        assert!((b.contention.max(b.network) + b.depth - b.total).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sequential_composition_accumulates_energy_depth_contention() {
+        let a = CostTerms::new(10, 5, 2, 3, 4);
+        let b = CostTerms::new(20, 7, 1, 6, 8);
+        let s = a.sequential(&b);
+        assert_eq!(s.energy, 30.0);
+        assert_eq!(s.distance, 7.0);
+        assert_eq!(s.depth, 3.0);
+        assert_eq!(s.contention, 9.0);
+        assert_eq!(s.links, 8.0);
+    }
+
+    #[test]
+    fn prediction_in_microseconds_uses_clock() {
+        let m = Machine::wse2();
+        let c = CostTerms::new(0, 850, 0, 0, 1);
+        assert!((c.predict_us(&m) - 1.0).abs() < 1e-12);
+    }
+}

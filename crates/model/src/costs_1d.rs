@@ -1,0 +1,453 @@
+//! Analytic cost predictions for 1D (single row or column) collectives.
+//!
+//! All functions take the number of PEs `p` in the row and the vector length
+//! `b` in 32-bit wavelets. They return the spatial [`CostTerms`] of the
+//! pattern; the runtime estimate follows from [`CostTerms::predict`].
+//!
+//! Where the paper refines the plain Eq. (1) estimate (the Star pattern forms
+//! a perfect pipeline for scalars, §5.1), a dedicated `*_cycles` function
+//! returns the refined estimate, and the selection logic in
+//! [`crate::selection`] uses the refined value.
+
+use crate::{CostTerms, Machine};
+
+/// Ceiling of the base-2 logarithm of `p` (`p >= 1`).
+pub fn ceil_log2(p: u64) -> u64 {
+    if p <= 1 {
+        0
+    } else {
+        64 - (p - 1).leading_zeros() as u64
+    }
+}
+
+/// Cost of sending a vector of `b` wavelets from the rightmost to the
+/// leftmost PE of a row of `p` PEs (§4.1).
+///
+/// `T_Message = B + P + 2·T_R` for `p >= 2`.
+pub fn message(p: u64, b: u64) -> CostTerms {
+    assert!(p >= 1 && b >= 1, "message requires p >= 1 and b >= 1");
+    if p == 1 {
+        return CostTerms::new(0, 0, 0, 0, 0);
+    }
+    CostTerms::new(b * (p - 1), p - 1, 1, b, p - 1)
+}
+
+/// Cost of the flooding Broadcast of §4.2: the root floods the row and every
+/// router multicasts each wavelet to its own processor and onwards.
+///
+/// Lemma 4.1: `T_Bcast = B + P + 2·T_R = T_Message` — multicast makes the
+/// broadcast as cheap as a single message.
+pub fn broadcast(p: u64, b: u64) -> CostTerms {
+    message(p, b)
+}
+
+/// Cost terms of the Star Reduce (§5.1): every PE sends its vector directly
+/// to the root.
+///
+/// Lemma 5.1 upper bound: `T_Star <= max(B(P-1), (P/2)·B + P - 1) + 2·T_R + 1`.
+pub fn star(p: u64, b: u64) -> CostTerms {
+    assert!(p >= 1 && b >= 1);
+    if p == 1 {
+        return CostTerms::new(0, 0, 0, 0, 0);
+    }
+    let energy = b * p * (p - 1) / 2;
+    CostTerms::new(energy, p - 1, 1, b * (p - 1), p - 1)
+}
+
+/// Refined Star Reduce runtime (§5.1).
+///
+/// A closer look at the pattern shows the communication forms a perfect
+/// pipeline into the root, so the runtime is contention bound for every `B`:
+/// `T_Star = B·(P-1) + 2·T_R + 1`.
+pub fn star_cycles(p: u64, b: u64, machine: &Machine) -> f64 {
+    assert!(p >= 1 && b >= 1);
+    if p == 1 {
+        return 0.0;
+    }
+    (b * (p - 1)) as f64 + (2 * machine.t_r + 1) as f64
+}
+
+/// Cost of the Chain Reduce (§5.2): each PE adds its vector to the partial
+/// sum arriving from the right and forwards the result to its left
+/// neighbour, fully pipelined. This is the pattern used by the vendor
+/// collectives library and by Cerebras' matrix-multiplication kernel.
+///
+/// Lemma 5.2: `T_Chain = B + (2·T_R + 2)(P - 1)`.
+pub fn chain(p: u64, b: u64) -> CostTerms {
+    assert!(p >= 1 && b >= 1);
+    if p == 1 {
+        return CostTerms::new(0, 0, 0, 0, 0);
+    }
+    CostTerms::new(b * (p - 1), p - 1, p - 1, b, p - 1)
+}
+
+/// Cost of the binary Tree Reduce (§5.3): `ceil(log2 P)` rounds; in every
+/// round every second active PE sends its partial vector to the previous
+/// active PE and becomes inactive.
+///
+/// Lemma 5.3 (for a power of two):
+/// `T_Tree = max(B·log2 P, B·P/(2(P-1))·log2 P + P - 1) + (2·T_R + 1)·log2 P`.
+///
+/// For non-powers of two the energy and contention are computed by summing
+/// over rounds explicitly.
+pub fn tree(p: u64, b: u64) -> CostTerms {
+    assert!(p >= 1 && b >= 1);
+    if p == 1 {
+        return CostTerms::new(0, 0, 0, 0, 0);
+    }
+    let rounds = ceil_log2(p);
+    // Sum the per-round energy and the number of messages the root receives.
+    let mut energy: u64 = 0;
+    let mut root_recv_rounds: u64 = 0;
+    let mut active = p;
+    let mut stride: u64 = 1; // distance between consecutive active PEs
+    for _ in 0..rounds {
+        let senders = active / 2;
+        energy += senders * b * stride;
+        if active >= 2 {
+            // PE 0 has a partner (PE at distance `stride`) whenever there are
+            // at least two active PEs, because partners are formed from the
+            // left.
+            root_recv_rounds += 1;
+        }
+        active = active.div_ceil(2);
+        stride *= 2;
+    }
+    CostTerms::new(energy, p - 1, rounds, b * root_recv_rounds, p - 1)
+}
+
+/// Cost of the Two-Phase Reduce (§5.4) with group size `s`.
+///
+/// Phase 1 runs a Chain Reduce inside every group of `s` consecutive PEs
+/// (groups are assigned starting from the rightmost PE); phase 2 runs a
+/// Chain Reduce over the `ceil(P/S)` group leaders.
+pub fn two_phase(p: u64, b: u64, s: u64) -> CostTerms {
+    assert!(p >= 1 && b >= 1);
+    assert!(s >= 1, "two-phase group size must be at least 1");
+    if p == 1 {
+        return CostTerms::new(0, 0, 0, 0, 0);
+    }
+    let groups = p.div_ceil(s);
+    // Depth: chain within a group (up to s - 1) plus chain over leaders.
+    let depth = (s.min(p) - 1) + (groups - 1);
+    // Phase 1 energy: a chain on at most `s` PEs inside each group. The
+    // leftover (possibly smaller) group contributes proportionally less; we
+    // keep the paper's upper bound of a full chain per group.
+    let energy_phase1 = (s.saturating_sub(1)) * b * groups;
+    // Phase 2 energy: `groups - 1` accumulated vectors travel `s` hops each.
+    let energy_phase2 = s * b * (groups.saturating_sub(1));
+    // Contention: a group leader receives the group chain (B) and, in phase
+    // 2, the accumulated vector of the next leader (B).
+    let contention = if groups > 1 { 2 * b } else { b };
+    CostTerms::new(
+        energy_phase1 + energy_phase2,
+        p - 1,
+        depth,
+        contention,
+        p - 1,
+    )
+}
+
+/// The group size the paper uses throughout: `S = round(sqrt(P))`, which
+/// balances the depth of the two phases.
+pub fn two_phase_default_group(p: u64) -> u64 {
+    ((p as f64).sqrt().round() as u64).max(1)
+}
+
+/// Two-Phase Reduce with the default group size `S ≈ sqrt(P)`.
+pub fn two_phase_default(p: u64, b: u64) -> CostTerms {
+    two_phase(p, b, two_phase_default_group(p))
+}
+
+/// The closed-form upper bound of Lemma 5.4 for the exact case `P = S²`:
+///
+/// `T_TwoPhase <= max(2B, 2B - 2B/sqrt(P) + P) + (2·sqrt(P) - 2)(2·T_R + 1)`.
+///
+/// Exposed for validation against the general [`two_phase`] construction.
+pub fn two_phase_lemma_cycles(p: u64, b: u64, machine: &Machine) -> f64 {
+    let sqrt_p = (p as f64).sqrt();
+    assert!(
+        (sqrt_p.round() * sqrt_p.round() - p as f64).abs() < 1e-9,
+        "the Lemma 5.4 closed form requires P to be a perfect square"
+    );
+    let b = b as f64;
+    let p = p as f64;
+    let steady = (2.0 * b).max(2.0 * b - 2.0 * b / sqrt_p + p);
+    steady + (2.0 * sqrt_p - 2.0) * machine.depth_overhead() as f64
+}
+
+/// Cost of an AllReduce implemented as Reduce followed by the flooding
+/// Broadcast (§6.1): `T = T_Reduce + T_Bcast`.
+pub fn reduce_then_broadcast(reduce_cycles: f64, p: u64, b: u64, machine: &Machine) -> f64 {
+    reduce_cycles + broadcast(p, b).predict(machine)
+}
+
+/// Cost of the Ring AllReduce (§6.2) mapped onto the row (either the simple
+/// or the distance-preserving mapping; both have the same predicted cost).
+///
+/// Lemma 6.1: `T_Ring = 2(P-1)·B/P + 4P - 6 + 2(P-1)(2·T_R + 1)`.
+///
+/// The pattern performs `P - 1` rounds of reduce-scatter followed by `P - 1`
+/// rounds of allgather, exchanging `B/P` elements per round, and uses the
+/// links in both directions.
+pub fn ring_allreduce(p: u64, b: u64) -> CostTerms {
+    assert!(p >= 1 && b >= 1);
+    if p == 1 {
+        return CostTerms::new(0, 0, 0, 0, 0);
+    }
+    let b = b as f64;
+    let p_f = p as f64;
+    let chunk = b / p_f;
+    let rounds = 2.0 * (p_f - 1.0);
+    let links = 2.0 * (p_f - 1.0);
+    CostTerms {
+        energy: rounds * links * chunk,
+        distance: 2.0 * (2.0 * p_f - 3.0),
+        depth: rounds,
+        contention: rounds * chunk,
+        links,
+    }
+}
+
+/// Predicted cost of a Butterfly (recursive-doubling) AllReduce mapped onto
+/// the row. The paper plots its prediction in Figure 11c to show that
+/// patterns designed for low-diameter networks translate poorly to a mesh:
+/// in round `i` every PE exchanges the full vector with a partner at
+/// distance `2^(i-1)`, so the energy grows linearly with `P·B` per round.
+pub fn butterfly_allreduce(p: u64, b: u64) -> CostTerms {
+    assert!(p >= 1 && b >= 1);
+    if p == 1 {
+        return CostTerms::new(0, 0, 0, 0, 0);
+    }
+    let rounds = ceil_log2(p);
+    let mut energy: u64 = 0;
+    let mut dist: u64 = 1;
+    for _ in 0..rounds {
+        // Every PE sends its current vector to a partner `dist` away (both
+        // directions are active simultaneously).
+        energy += p * b * dist;
+        dist *= 2;
+    }
+    let max_hop = 1u64 << (rounds.saturating_sub(1));
+    CostTerms::new(
+        energy,
+        max_hop.min(p - 1),
+        rounds,
+        b * rounds,
+        2 * (p - 1),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const M: Machine = Machine {
+        t_r: 2,
+        clock_mhz: 850.0,
+        ramp_ports: 1,
+        colors: 24,
+        sram_bytes: 49152,
+    };
+
+    #[test]
+    fn message_matches_lemma() {
+        // T_Message = B + P + 2 T_R
+        for (p, b) in [(2u64, 1u64), (8, 16), (512, 4096), (37, 251)] {
+            let t = message(p, b).predict(&M);
+            let expected = (b + p + 2 * M.t_r) as f64;
+            assert!(
+                (t - expected).abs() < 1e-9,
+                "p={p} b={b}: got {t}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn broadcast_equals_message() {
+        for (p, b) in [(4u64, 8u64), (64, 256), (512, 1)] {
+            assert_eq!(broadcast(p, b), message(p, b));
+        }
+    }
+
+    #[test]
+    fn single_pe_collectives_are_free() {
+        assert_eq!(message(1, 100).predict(&M), 0.0);
+        assert_eq!(star(1, 100).predict(&M), 0.0);
+        assert_eq!(chain(1, 100).predict(&M), 0.0);
+        assert_eq!(tree(1, 100).predict(&M), 0.0);
+        assert_eq!(two_phase_default(1, 100).predict(&M), 0.0);
+    }
+
+    #[test]
+    fn star_terms_match_lemma_5_1() {
+        let p = 8;
+        let b = 4;
+        let c = star(p, b);
+        assert_eq!(c.energy, (b * p * (p - 1) / 2) as f64);
+        assert_eq!(c.depth, 1.0);
+        assert_eq!(c.distance, (p - 1) as f64);
+        assert_eq!(c.contention, (b * (p - 1)) as f64);
+        // Upper bound of Lemma 5.1.
+        let ub = ((b * (p - 1)) as f64).max((p * b / 2 + p - 1) as f64) + 5.0;
+        assert!((c.predict(&M) - ub).abs() < 1e-9);
+    }
+
+    #[test]
+    fn star_refined_is_contention_bound() {
+        // Refined star: B(P-1) + 2 T_R + 1; approaches the distance lower
+        // bound P - 1 for scalars.
+        assert!((star_cycles(512, 1, &M) - (511.0 + 5.0)).abs() < 1e-9);
+        assert!((star_cycles(16, 100, &M) - (1500.0 + 5.0)).abs() < 1e-9);
+        // Refined estimate never exceeds the raw Eq. (1) estimate.
+        for p in [2u64, 4, 16, 64, 512] {
+            for b in [1u64, 16, 1024] {
+                assert!(star_cycles(p, b, &M) <= star(p, b).predict(&M) + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn chain_matches_lemma_5_2() {
+        for (p, b) in [(2u64, 1u64), (16, 64), (512, 4096), (100, 7)] {
+            let t = chain(p, b).predict(&M);
+            let expected = b as f64 + (2 * M.t_r + 2) as f64 * (p - 1) as f64;
+            assert!(
+                (t - expected).abs() < 1e-9,
+                "p={p} b={b}: got {t}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn tree_matches_lemma_5_3_for_powers_of_two() {
+        for (p, b) in [(8u64, 4u64), (64, 256), (512, 1024)] {
+            let log_p = (p as f64).log2();
+            let t = tree(p, b).predict(&M);
+            let contention = b as f64 * log_p;
+            let network = b as f64 * p as f64 / (2.0 * (p as f64 - 1.0)) * log_p + (p - 1) as f64;
+            let expected = contention.max(network) + 5.0 * log_p;
+            assert!(
+                (t - expected).abs() < 1e-6,
+                "p={p} b={b}: got {t}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn tree_handles_non_powers_of_two() {
+        // 5 PEs: rounds = 3, the reduction still terminates at the root.
+        let c = tree(5, 10);
+        assert_eq!(c.depth, 3.0);
+        assert!(c.energy > 0.0);
+        assert!(c.contention >= 10.0);
+        assert!(tree(6, 1).predict(&M) > 0.0);
+        assert!(tree(7, 1).predict(&M) >= tree(4, 1).predict(&M));
+    }
+
+    #[test]
+    fn two_phase_matches_lemma_5_4_for_perfect_squares() {
+        for (p, b) in [(16u64, 8u64), (64, 64), (256, 1024)] {
+            let general = two_phase_default(p, b).predict(&M);
+            let lemma = two_phase_lemma_cycles(p, b, &M);
+            // The general construction uses N = P - 1 links whereas the lemma
+            // uses N = P, so allow a small relative slack.
+            let rel = (general - lemma).abs() / lemma;
+            assert!(
+                rel < 0.05,
+                "p={p} b={b}: general {general} vs lemma {lemma} (rel {rel})"
+            );
+        }
+    }
+
+    #[test]
+    fn two_phase_depth_is_about_two_sqrt_p() {
+        let p = 256;
+        let c = two_phase_default(p, 32);
+        assert_eq!(c.depth, (16 - 1 + 16 - 1) as f64);
+        assert_eq!(c.contention, 64.0);
+    }
+
+    #[test]
+    fn two_phase_group_size_one_or_p_degenerates_to_chain_shape() {
+        // s = 1: every PE is its own group, phase 2 is a chain on all PEs.
+        let p = 32;
+        let b = 16;
+        let c1 = two_phase(p, b, 1);
+        assert_eq!(c1.depth, (p - 1) as f64);
+        // s = p: one group, phase 1 is a chain on all PEs.
+        let cp = two_phase(p, b, p);
+        assert_eq!(cp.depth, (p - 1) as f64);
+        assert_eq!(cp.contention, b as f64);
+    }
+
+    #[test]
+    fn ring_matches_lemma_6_1() {
+        for (p, b) in [(4u64, 16u64), (8, 64), (512, 4096)] {
+            let t = ring_allreduce(p, b).predict(&M);
+            let p_f = p as f64;
+            let b_f = b as f64;
+            let expected =
+                2.0 * (p_f - 1.0) * b_f / p_f + 4.0 * p_f - 6.0 + 2.0 * (p_f - 1.0) * 5.0;
+            assert!(
+                (t - expected).abs() < 1e-6,
+                "p={p} b={b}: got {t}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn butterfly_is_never_better_than_ring_for_large_vectors() {
+        // On a mesh the butterfly's energy term dominates; the paper uses its
+        // prediction to rule it out without implementing it.
+        for p in [8u64, 64, 512] {
+            let b = 4096;
+            assert!(
+                butterfly_allreduce(p, b).predict(&M) > ring_allreduce(p, b).predict(&M),
+                "butterfly should lose to ring at p={p}"
+            );
+        }
+    }
+
+    #[test]
+    fn reduce_then_broadcast_adds_broadcast_cost() {
+        let p = 64;
+        let b = 256;
+        let red = chain(p, b).predict(&M);
+        let all = reduce_then_broadcast(red, p, b, &M);
+        assert!((all - (red + broadcast(p, b).predict(&M))).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(512), 9);
+        assert_eq!(ceil_log2(513), 10);
+    }
+
+    #[test]
+    fn chain_shines_for_large_vectors_tree_for_small() {
+        // Qualitative check of §5.7: for large B the chain approaches the
+        // contention bound B and beats the tree; for small B the tree wins.
+        let p = 512;
+        let large = 8192;
+        assert!(chain(p, large).predict(&M) < tree(p, large).predict(&M));
+        let small = 2;
+        assert!(tree(p, small).predict(&M) < chain(p, small).predict(&M));
+    }
+
+    #[test]
+    fn two_phase_wins_for_intermediate_vectors() {
+        // §5.7: Two-Phase is effective when P ≈ B.
+        let p = 512;
+        let b = 512;
+        let tp = two_phase_default(p, b).predict(&M);
+        assert!(tp < chain(p, b).predict(&M));
+        assert!(tp < tree(p, b).predict(&M));
+        assert!(tp < star_cycles(p, b, &M));
+    }
+}

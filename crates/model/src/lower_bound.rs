@@ -1,0 +1,282 @@
+//! Lower bounds for the runtime of Reduce (§5.6 and §7.5 of the paper).
+//!
+//! The 1D bound follows Lemma 5.5: for every depth budget `D` the minimum
+//! energy `E*(P, 1, D)` needed to reduce a scalar over `P` consecutive PEs is
+//! bounded from below by a recursion over the last message the root receives.
+//! The bound on the runtime then minimises over all depths:
+//!
+//! ```text
+//! T*(P, B) >= min_D  B·E*(P, 1, D)/(P - 1) + (P - 1) + D·(2·T_R + 1)
+//! ```
+//!
+//! The 2D bound (Lemma 7.2) only uses simple counting arguments and is
+//! correspondingly loose; the paper points this out as an open problem.
+
+use crate::Machine;
+
+/// Sentinel for infeasible dynamic-programming states.
+const INFEASIBLE: u64 = u64::MAX / 4;
+
+/// Lower bound on the minimum energy and runtime of a 1D Reduce over `p`
+/// consecutive PEs, for every depth budget.
+///
+/// Construction is `O(P³)`; evaluating [`LowerBound1d::t_star`] afterwards is
+/// `O(P)` per vector length, so the table should be reused across a sweep
+/// over `B`.
+#[derive(Debug, Clone)]
+pub struct LowerBound1d {
+    p: u64,
+    /// `scalar_energy[d]` = lower bound on `E*(p, 1, d)` for depth budget `d`
+    /// (index 0 is unused / infeasible for `p >= 2`).
+    scalar_energy: Vec<u64>,
+}
+
+impl LowerBound1d {
+    /// Build the lower-bound table for a row of `p` PEs.
+    pub fn new(p: u64) -> Self {
+        assert!(p >= 1, "lower bound requires at least one PE");
+        let p_us = p as usize;
+        if p == 1 {
+            return LowerBound1d { p, scalar_energy: vec![0] };
+        }
+        let max_d = p_us - 1;
+        // e[d][q] = lower bound on the energy to reduce a scalar over q
+        // consecutive PEs with depth at most d.
+        let mut prev = vec![INFEASIBLE; p_us + 1]; // d = 0
+        prev[1] = 0;
+        let mut per_depth = vec![INFEASIBLE; max_d + 1];
+        let mut cur = vec![0u64; p_us + 1];
+        for d in 1..=max_d {
+            cur[0] = INFEASIBLE;
+            cur[1] = 0;
+            for q in 2..=p_us {
+                let mut best = INFEASIBLE;
+                for i in 1..q {
+                    // First part: i PEs including the root, still depth d.
+                    // Second part: q - i PEs whose result arrives last, depth d - 1.
+                    let a = cur[i];
+                    let b = prev[q - i];
+                    if a >= INFEASIBLE || b >= INFEASIBLE {
+                        continue;
+                    }
+                    let extra = (i as u64).min((q - i + 1) as u64);
+                    let cand = a + b + extra;
+                    if cand < best {
+                        best = cand;
+                    }
+                }
+                cur[q] = best;
+            }
+            per_depth[d] = cur[p_us];
+            std::mem::swap(&mut prev, &mut cur);
+        }
+        LowerBound1d { p, scalar_energy: per_depth }
+    }
+
+    /// Number of PEs this table was built for.
+    pub fn pes(&self) -> u64 {
+        self.p
+    }
+
+    /// Lower bound on the energy `E*(p, 1, d)` of a scalar Reduce with depth
+    /// at most `d`. Returns `None` if no Reduce with that depth exists.
+    pub fn scalar_energy(&self, d: u64) -> Option<u64> {
+        if self.p == 1 {
+            return Some(0);
+        }
+        let v = *self.scalar_energy.get(d as usize)?;
+        if v >= INFEASIBLE {
+            None
+        } else {
+            Some(v)
+        }
+    }
+
+    /// The runtime lower bound `T*(P, B)` in cycles (§5.6).
+    pub fn t_star(&self, b: u64, machine: &Machine) -> f64 {
+        if self.p == 1 {
+            return 0.0;
+        }
+        let p = self.p as f64;
+        let b = b as f64;
+        let overhead = machine.depth_overhead() as f64;
+        let mut best = f64::INFINITY;
+        for (d, &e) in self.scalar_energy.iter().enumerate() {
+            if e >= INFEASIBLE {
+                continue;
+            }
+            let t = b * e as f64 / (p - 1.0) + (p - 1.0) + d as f64 * overhead;
+            if t < best {
+                best = t;
+            }
+        }
+        best
+    }
+}
+
+/// Convenience wrapper: the 1D Reduce lower bound `T*(p, b)` in cycles.
+///
+/// Builds the whole DP table; for sweeps over `b`, construct a
+/// [`LowerBound1d`] once and call [`LowerBound1d::t_star`] repeatedly.
+pub fn t_star_1d(p: u64, b: u64, machine: &Machine) -> f64 {
+    LowerBound1d::new(p).t_star(b, machine)
+}
+
+/// The simple 2D Reduce lower bound of Lemma 7.2 for an `m × n` grid:
+///
+/// `T*(M, N) >= max(B, B/8 + M + N - 1) + 2·T_R + 1`.
+pub fn t_star_2d(m: u64, n: u64, b: u64, machine: &Machine) -> f64 {
+    if m * n <= 1 {
+        return 0.0;
+    }
+    let b = b as f64;
+    let steady = b.max(b / 8.0 + (m + n - 1) as f64);
+    steady + machine.depth_overhead() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{autogen::ReductionTree, costs_1d, Machine};
+
+    fn m() -> Machine {
+        Machine::wse2()
+    }
+
+    #[test]
+    fn two_pes_scalar_energy_is_one() {
+        let lb = LowerBound1d::new(2);
+        assert_eq!(lb.scalar_energy(1), Some(1));
+        assert_eq!(lb.scalar_energy(0), None);
+    }
+
+    #[test]
+    fn single_pe_bound_is_zero() {
+        let lb = LowerBound1d::new(1);
+        assert_eq!(lb.t_star(1000, &m()), 0.0);
+    }
+
+    #[test]
+    fn scalar_energy_is_monotone_in_depth() {
+        // Allowing more depth can only reduce the required energy.
+        let lb = LowerBound1d::new(33);
+        let mut prev = u64::MAX;
+        for d in 1..33 {
+            let e = lb.scalar_energy(d).expect("feasible depth");
+            assert!(e <= prev, "energy increased from depth {} to {}", d - 1, d);
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn chain_energy_matches_bound_at_full_depth() {
+        // With depth P-1 the chain achieves energy exactly P-1, and the lower
+        // bound must not exceed that.
+        for p in [4u64, 8, 17, 32] {
+            let lb = LowerBound1d::new(p);
+            let e = lb.scalar_energy(p - 1).unwrap();
+            assert!(e < p, "p={p}: bound {e} exceeds chain energy {}", p - 1);
+            assert!(e >= 1);
+        }
+    }
+
+    #[test]
+    fn star_energy_respects_depth_one_bound() {
+        // With depth 1 every PE must send directly to the root; the star's
+        // energy P(P-1)/2 must be at least the bound at depth 1.
+        for p in [4u64, 8, 16, 31] {
+            let lb = LowerBound1d::new(p);
+            let bound = lb.scalar_energy(1).unwrap();
+            let star = p * (p - 1) / 2;
+            assert!(bound <= star, "p={p}: bound {bound} exceeds star energy {star}");
+        }
+    }
+
+    #[test]
+    fn t_star_is_below_every_fixed_algorithm() {
+        let mach = m();
+        for p in [4u64, 8, 16, 32, 64] {
+            let lb = LowerBound1d::new(p);
+            for b in [1u64, 4, 64, 256, 2048, 8192] {
+                let t = lb.t_star(b, &mach);
+                let algorithms = [
+                    costs_1d::star(p, b).predict(&mach),
+                    costs_1d::chain(p, b).predict(&mach),
+                    costs_1d::tree(p, b).predict(&mach),
+                    costs_1d::two_phase_default(p, b).predict(&mach),
+                ];
+                for (i, &a) in algorithms.iter().enumerate() {
+                    assert!(
+                        t <= a + 1e-6,
+                        "p={p} b={b}: lower bound {t} exceeds algorithm {i} cost {a}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn t_star_is_below_arbitrary_trees() {
+        // The bound must hold for any pre-order reduction tree, not only the
+        // named algorithms.
+        let mach = m();
+        let p = 24u64;
+        let lb = LowerBound1d::new(p);
+        let trees = [
+            ReductionTree::chain(p as usize),
+            ReductionTree::star(p as usize),
+            ReductionTree::two_phase(p as usize, 4),
+            ReductionTree::two_phase(p as usize, 6),
+            ReductionTree::two_phase(p as usize, 12),
+        ];
+        for b in [1u64, 16, 256, 4096] {
+            let bound = lb.t_star(b, &mach);
+            for tree in &trees {
+                let cost = tree.cost_terms(b).predict(&mach);
+                assert!(
+                    bound <= cost + 1e-6,
+                    "b={b}: bound {bound} exceeds tree cost {cost}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn t_star_grows_with_vector_length_and_pe_count() {
+        let mach = m();
+        let lb64 = LowerBound1d::new(64);
+        assert!(lb64.t_star(1024, &mach) > lb64.t_star(16, &mach));
+        let lb8 = LowerBound1d::new(8);
+        assert!(lb64.t_star(256, &mach) > lb8.t_star(256, &mach));
+    }
+
+    #[test]
+    fn t_star_2d_matches_lemma_7_2() {
+        let mach = m();
+        let t = t_star_2d(512, 512, 4096, &mach);
+        let expected = (4096f64).max(4096.0 / 8.0 + 1023.0) + 5.0;
+        assert!((t - expected).abs() < 1e-9);
+        // Distance-dominated regime.
+        let t_small = t_star_2d(512, 512, 8, &mach);
+        assert!((t_small - (8.0f64.max(1.0 + 1023.0) + 5.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn t_star_2d_is_below_snake_and_xy_patterns() {
+        use crate::costs_2d::{self, Phase1d};
+        let mach = m();
+        for (rows, cols) in [(4u64, 4u64), (16, 16), (64, 64)] {
+            for b in [1u64, 64, 1024, 8192] {
+                let bound = t_star_2d(rows, cols, b, &mach);
+                assert!(bound <= costs_2d::snake_reduce(rows, cols, b, &mach) + 1e-6);
+                for pat in Phase1d::all() {
+                    assert!(
+                        bound <= costs_2d::xy_reduce(rows, cols, b, pat, &mach) + 1e-6,
+                        "{rows}x{cols} b={b} pattern {:?}",
+                        pat
+                    );
+                }
+            }
+        }
+    }
+}

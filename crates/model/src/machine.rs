@@ -1,0 +1,114 @@
+//! Machine parameters of the modelled wafer-scale engine.
+
+/// Parameters of the target wafer-scale machine.
+///
+/// The defaults correspond to the second-generation Cerebras Wafer-Scale
+/// Engine (the CS-2 system) as characterised in §2.2 and §8.1 of the paper:
+/// a ramp latency of `T_R = 2` cycles, one 32-bit wavelet per link direction
+/// per cycle, and an 850 MHz clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Machine {
+    /// Ramp latency `T_R`: cycles between a wavelet entering the router and
+    /// the processor being able to use it (and symmetrically on send).
+    pub t_r: u64,
+    /// Clock frequency in MHz, used only to convert cycles to wall time.
+    pub clock_mhz: f64,
+    /// Number of wavelets a PE can inject or absorb per cycle (the CS-2 has a
+    /// single ramp port, so this is 1).
+    pub ramp_ports: u64,
+    /// Number of routing colors available to applications (24 on the CS-2).
+    pub colors: u32,
+    /// Local SRAM per PE in bytes (48 KiB on the CS-2). Collectives should
+    /// keep the working set below roughly a third of this.
+    pub sram_bytes: u64,
+}
+
+impl Machine {
+    /// Parameters of the second-generation WSE (Cerebras CS-2), the machine
+    /// evaluated in the paper.
+    pub fn wse2() -> Self {
+        Machine {
+            t_r: 2,
+            clock_mhz: 850.0,
+            ramp_ports: 1,
+            colors: 24,
+            sram_bytes: 48 * 1024,
+        }
+    }
+
+    /// A machine identical to [`Machine::wse2`] except for the ramp latency.
+    ///
+    /// Used for the `T_R` sensitivity ablation: the paper notes (§8.7) that
+    /// any value other than `T_R = 2` leads to significantly worse
+    /// predictions.
+    pub fn with_ramp_latency(t_r: u64) -> Self {
+        Machine { t_r, ..Machine::wse2() }
+    }
+
+    /// The per-hop depth overhead `2·T_R + 1`: a received wavelet pays the
+    /// down-ramp and up-ramp latency plus one cycle to store the element.
+    pub fn depth_overhead(&self) -> u64 {
+        2 * self.t_r + 1
+    }
+
+    /// Convert a cycle count into microseconds at this machine's clock.
+    pub fn cycles_to_us(&self, cycles: f64) -> f64 {
+        cycles / self.clock_mhz
+    }
+
+    /// Convert microseconds into cycles at this machine's clock.
+    pub fn us_to_cycles(&self, us: f64) -> f64 {
+        us * self.clock_mhz
+    }
+
+    /// Largest vector length (in 32-bit wavelets) that fits within a third of
+    /// the PE-local SRAM — the memory ceiling marked in Figures 11 and 13.
+    pub fn max_vector_wavelets(&self) -> u64 {
+        self.sram_bytes / 3 / 4
+    }
+}
+
+impl Default for Machine {
+    fn default() -> Self {
+        Machine::wse2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wse2_parameters_match_paper() {
+        let m = Machine::wse2();
+        assert_eq!(m.t_r, 2);
+        assert_eq!(m.depth_overhead(), 5);
+        assert_eq!(m.colors, 24);
+        assert_eq!(m.sram_bytes, 49152);
+        assert!((m.clock_mhz - 850.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn cycle_time_conversion_roundtrips() {
+        let m = Machine::wse2();
+        let cycles = 1234.0;
+        let us = m.cycles_to_us(cycles);
+        assert!((m.us_to_cycles(us) - cycles).abs() < 1e-9);
+        // 850 cycles at 850 MHz is exactly one microsecond.
+        assert!((m.cycles_to_us(850.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ramp_latency_override() {
+        let m = Machine::with_ramp_latency(7);
+        assert_eq!(m.t_r, 7);
+        assert_eq!(m.depth_overhead(), 15);
+        assert_eq!(m.colors, Machine::wse2().colors);
+    }
+
+    #[test]
+    fn memory_ceiling_is_a_third_of_sram() {
+        let m = Machine::wse2();
+        assert_eq!(m.max_vector_wavelets(), 4096);
+    }
+}

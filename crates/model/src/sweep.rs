@@ -1,0 +1,107 @@
+//! Parameter sweeps matching the paper's experimental methodology (§1.4, §8).
+//!
+//! The paper evaluates two experiment families:
+//!
+//! 1. fix the number of PEs to the largest power of two (512 in a row,
+//!    512×512 on the full wafer) and sweep the vector length from 4 bytes to
+//!    16 KiB (a third of the PE memory), and
+//! 2. fix the vector length to 1 KB (256 f32 values) and sweep the number of
+//!    PEs from 4 to 512 (4×4 to 512×512 in 2D).
+//!
+//! All vector lengths are expressed both in bytes (as on the paper's axes)
+//! and in 32-bit wavelets (as used by the model).
+
+/// Number of bytes per wavelet (the WSE routes 32-bit packets).
+pub const BYTES_PER_WAVELET: u64 = 4;
+
+/// The vector lengths (in bytes) of Figure 1: `2^2 .. 2^15` bytes.
+pub fn figure1_vector_bytes() -> Vec<u64> {
+    (2..=15).map(|e| 1u64 << e).collect()
+}
+
+/// The vector lengths (in bytes) of Figures 11 and 13a/b: 4 bytes to 16 KiB.
+pub fn figure11_vector_bytes() -> Vec<u64> {
+    (2..=14).map(|e| 1u64 << e).collect()
+}
+
+/// The PE-row lengths of Figures 1, 8 and 12: 4×1 up to 512×1.
+pub fn figure12_pe_counts() -> Vec<u64> {
+    (2..=9).map(|e| 1u64 << e).collect()
+}
+
+/// The square grid side lengths of Figures 10 and 13c: 4×4 up to 512×512.
+pub fn figure13_grid_sides() -> Vec<u64> {
+    (2..=9).map(|e| 1u64 << e).collect()
+}
+
+/// The fixed vector length of the PE-count sweeps: 1 KB = 256 wavelets.
+pub const FIXED_VECTOR_BYTES: u64 = 1024;
+
+/// Convert a vector length in bytes to wavelets (rounding up, minimum one
+/// wavelet).
+pub fn bytes_to_wavelets(bytes: u64) -> u64 {
+    bytes.div_ceil(BYTES_PER_WAVELET).max(1)
+}
+
+/// Convert a vector length in wavelets to bytes.
+pub fn wavelets_to_bytes(wavelets: u64) -> u64 {
+    wavelets * BYTES_PER_WAVELET
+}
+
+/// Pretty-print a byte count the way the paper's axes do (4 B, 256 B, 1 KB,
+/// 16 KB, ...).
+pub fn format_bytes(bytes: u64) -> String {
+    if bytes >= 1024 && bytes.is_multiple_of(1024) {
+        format!("{} KB", bytes / 1024)
+    } else {
+        format!("{} B", bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_sweep_matches_paper_axes() {
+        let bytes = figure1_vector_bytes();
+        assert_eq!(bytes.first(), Some(&4));
+        assert_eq!(bytes.last(), Some(&32768));
+        assert_eq!(bytes.len(), 14);
+    }
+
+    #[test]
+    fn figure11_sweep_stops_at_a_third_of_pe_memory() {
+        let bytes = figure11_vector_bytes();
+        assert_eq!(bytes.last(), Some(&16384));
+        // 16 KiB == 4096 wavelets == one third of the 48 KiB PE memory.
+        assert_eq!(bytes_to_wavelets(16384), 4096);
+    }
+
+    #[test]
+    fn pe_count_sweeps_are_powers_of_two_from_4_to_512() {
+        for v in [figure12_pe_counts(), figure13_grid_sides()] {
+            assert_eq!(v.first(), Some(&4));
+            assert_eq!(v.last(), Some(&512));
+            assert_eq!(v.len(), 8);
+            assert!(v.windows(2).all(|w| w[1] == 2 * w[0]));
+        }
+    }
+
+    #[test]
+    fn byte_wavelet_conversions() {
+        assert_eq!(bytes_to_wavelets(4), 1);
+        assert_eq!(bytes_to_wavelets(3), 1);
+        assert_eq!(bytes_to_wavelets(1024), 256);
+        assert_eq!(wavelets_to_bytes(256), 1024);
+        assert_eq!(bytes_to_wavelets(FIXED_VECTOR_BYTES), 256);
+    }
+
+    #[test]
+    fn byte_formatting_matches_paper_axis_labels() {
+        assert_eq!(format_bytes(4), "4 B");
+        assert_eq!(format_bytes(256), "256 B");
+        assert_eq!(format_bytes(1024), "1 KB");
+        assert_eq!(format_bytes(16384), "16 KB");
+    }
+}

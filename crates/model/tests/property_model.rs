@@ -1,0 +1,167 @@
+//! Property-based tests of the performance model's invariants.
+
+use proptest::prelude::*;
+
+use wse_model::autogen::{AutogenSolver, ReductionTree};
+use wse_model::costs_2d::Phase1d;
+use wse_model::lower_bound::LowerBound1d;
+use wse_model::selection::Reduce1dAlgorithm;
+use wse_model::{costs_1d, costs_2d, lower_bound, Machine};
+
+fn machine() -> Machine {
+    Machine::wse2()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// The runtime estimate of every fixed algorithm is monotone in the
+    /// vector length: longer vectors can never be predicted to finish
+    /// earlier.
+    #[test]
+    fn predictions_are_monotone_in_vector_length(p in 2u64..300, b in 1u64..8192) {
+        let m = machine();
+        for alg in Reduce1dAlgorithm::fixed() {
+            let shorter = alg.cycles(p, b, &m, None);
+            let longer = alg.cycles(p, b + 1, &m, None);
+            prop_assert!(longer + 1e-9 >= shorter, "{:?} p={p} b={b}", alg);
+        }
+        prop_assert!(
+            costs_1d::broadcast(p, b + 1).predict(&m) >= costs_1d::broadcast(p, b).predict(&m)
+        );
+        prop_assert!(
+            costs_1d::ring_allreduce(p, b + 1).predict(&m)
+                >= costs_1d::ring_allreduce(p, b).predict(&m) - 1e-9
+        );
+    }
+
+    /// The broadcast costs exactly as much as a message (Lemma 4.1) and the
+    /// 2D broadcast never costs more than the 1D broadcast over the same
+    /// number of PEs (§7.1).
+    #[test]
+    fn broadcast_lemmas_hold(p in 2u64..400, b in 1u64..4096, rows in 2u64..20, cols in 2u64..20) {
+        let m = machine();
+        let msg = costs_1d::message(p, b).predict(&m);
+        let bcast = costs_1d::broadcast(p, b).predict(&m);
+        prop_assert!((msg - bcast).abs() < 1e-9);
+
+        let two_d = costs_2d::broadcast_2d(rows, cols, b).predict(&m);
+        let one_d = costs_1d::broadcast(rows * cols, b).predict(&m);
+        prop_assert!(two_d <= one_d + 1e-9);
+    }
+
+    /// The 1D lower bound never exceeds the cost of any algorithm (fixed or
+    /// generated), and is itself at least the trivial distance/contention
+    /// bound.
+    #[test]
+    fn lower_bound_is_consistent(p in 2u64..64, b in 1u64..4096) {
+        let m = machine();
+        let lb = LowerBound1d::new(p);
+        let bound = lb.t_star(b, &m);
+        for alg in Reduce1dAlgorithm::fixed() {
+            prop_assert!(bound <= alg.cycles(p, b, &m, None) + 1e-6);
+        }
+        // Trivial bounds: the farthest value must travel P-1 hops and the
+        // root must receive at least B wavelets... the model bound keeps the
+        // distance but drops contention, so only check the distance part.
+        prop_assert!(bound + 1e-9 >= (p - 1) as f64);
+    }
+
+    /// The scalar-energy lower bound is monotone: more PEs need more energy,
+    /// more depth allowance never increases the minimum energy.
+    #[test]
+    fn scalar_energy_bound_is_monotone(p in 3u64..48, d in 1u64..47) {
+        let d = d.min(p - 1);
+        let larger = LowerBound1d::new(p);
+        let smaller = LowerBound1d::new(p - 1);
+        if let (Some(a), Some(b)) = (larger.scalar_energy(d), smaller.scalar_energy(d.min(p - 2).max(1))) {
+            prop_assert!(a >= b);
+        }
+        if d + 1 <= p - 1 {
+            if let (Some(e1), Some(e2)) = (larger.scalar_energy(d), larger.scalar_energy(d + 1)) {
+                prop_assert!(e2 <= e1);
+            }
+        }
+    }
+
+    /// Every named pattern tree has the cost terms the lemmas assign to it.
+    #[test]
+    fn pattern_trees_match_lemma_terms(p in 2usize..200) {
+        let chain = ReductionTree::chain(p);
+        prop_assert_eq!(chain.height(), (p - 1) as u64);
+        prop_assert_eq!(chain.scalar_energy(), (p - 1) as u64);
+        prop_assert_eq!(chain.max_in_degree(), 1);
+
+        let star = ReductionTree::star(p);
+        prop_assert_eq!(star.height(), 1.min(p as u64 - 1).max(u64::from(p > 1)));
+        prop_assert_eq!(star.scalar_energy(), (p * (p - 1) / 2) as u64);
+
+        let tree = ReductionTree::binary_tree(p);
+        prop_assert!(tree.height() <= costs_1d::ceil_log2(p as u64).max(1));
+        prop_assert!(tree.validate().is_ok());
+    }
+
+    /// Two-phase trees are valid for every group size, have in-degree at
+    /// most 2 and height close to s + P/s.
+    #[test]
+    fn two_phase_trees_are_well_formed(p in 2usize..300, s in 1usize..40) {
+        let s = s.min(p);
+        let tree = ReductionTree::two_phase(p, s);
+        prop_assert!(tree.validate().is_ok());
+        prop_assert!(tree.max_in_degree() <= 2);
+        let groups = p.div_ceil(s);
+        prop_assert!(tree.height() <= (s - 1 + groups) as u64);
+    }
+
+    /// The Auto-Gen solver's DP states always reconstruct to trees whose
+    /// energy, height and in-degree respect the state's budgets.
+    #[test]
+    fn autogen_dp_states_reconstruct_consistently(p in 2u64..40, d in 1u64..40, c in 1u64..40) {
+        let solver = AutogenSolver::new(p);
+        let d = d.min(solver.depth_cap());
+        let c = c.min(solver.contention_cap());
+        if let Some(energy) = solver.dp_energy(d, c) {
+            let tree = solver.dp_tree(d, c);
+            prop_assert!(tree.validate().is_ok());
+            prop_assert_eq!(tree.scalar_energy(), energy);
+            prop_assert!(tree.height() <= d);
+            prop_assert!(tree.max_in_degree() <= c);
+        }
+    }
+
+    /// Auto-Gen dominates every fixed pattern and respects the lower bound
+    /// for arbitrary shapes (the Figure 1e property).
+    #[test]
+    fn autogen_dominates_and_respects_bound(p in 2u64..48, b in 1u64..8192) {
+        let m = machine();
+        let solver = AutogenSolver::new(p);
+        let lb = LowerBound1d::new(p);
+        let auto = solver.best_cost(b, &m).cycles;
+        prop_assert!(auto + 1e-6 >= lb.t_star(b, &m));
+        for alg in Reduce1dAlgorithm::fixed() {
+            prop_assert!(auto <= alg.cycles(p, b, &m, None) + 1e-6);
+        }
+    }
+
+    /// The 2D bound of Lemma 7.2 never exceeds any 2D algorithm's predicted
+    /// cost.
+    #[test]
+    fn two_d_bound_is_below_all_2d_costs(rows in 2u64..64, cols in 2u64..64, b in 1u64..2048) {
+        let m = machine();
+        let bound = lower_bound::t_star_2d(rows, cols, b, &m);
+        prop_assert!(bound <= costs_2d::snake_reduce(rows, cols, b, &m) + 1e-6);
+        for pat in Phase1d::all() {
+            prop_assert!(bound <= costs_2d::xy_reduce(rows, cols, b, pat, &m) + 1e-6);
+        }
+    }
+
+    /// Increasing the ramp latency never decreases any prediction.
+    #[test]
+    fn ramp_latency_monotonicity(p in 2u64..200, b in 1u64..2048, t_r in 0u64..7) {
+        let low = Machine::with_ramp_latency(t_r);
+        let high = Machine::with_ramp_latency(t_r + 1);
+        for alg in Reduce1dAlgorithm::fixed() {
+            prop_assert!(alg.cycles(p, b, &high, None) + 1e-9 >= alg.cycles(p, b, &low, None));
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Model-driven autotuning: which collective should an application use?
+//!
+//! HPC applications need Reduce/AllReduce across a wide range of vector
+//! lengths and PE counts (§1.1). This example prints the model's choice of
+//! the best fixed algorithm for a grid of problem shapes — a miniature
+//! version of the paper's Figure 8 — and then validates one interesting
+//! column on the cycle-level simulator, showing that the model ranks the
+//! algorithms correctly even when its absolute predictions are off by a few
+//! percent.
+//!
+//! Run with `cargo run --release -p wse-examples --bin autotune_heatmap`.
+
+use wse_collectives::prelude::*;
+use wse_examples::sample_vector;
+use wse_model::selection;
+
+fn main() {
+    let machine = Machine::wse2();
+    let pe_counts: Vec<u64> = vec![4, 8, 16, 32, 64, 128, 256, 512];
+    let vector_bytes: Vec<u64> = vec![4, 16, 64, 256, 1024, 4096, 16384];
+
+    println!("# Best fixed 1D AllReduce per (PE count, vector length), per the model\n");
+    print!("{:>8}", "PEs\\B");
+    for b in &vector_bytes {
+        print!("{:>18}", wse_model::sweep::format_bytes(*b));
+    }
+    println!();
+    for &p in &pe_counts {
+        print!("{:>8}", format!("{p}x1"));
+        for &bytes in &vector_bytes {
+            let b = wse_model::sweep::bytes_to_wavelets(bytes);
+            let best = selection::best_fixed_allreduce_1d(p, b, &machine);
+            print!("{:>18}", best.algorithm.name());
+        }
+        println!();
+    }
+
+    // Validate the ranking on the simulator for one column: P = 32 PEs.
+    let p: u32 = 32;
+    let bytes = 1024u64;
+    let b = wse_model::sweep::bytes_to_wavelets(bytes) as u32;
+    println!("\n# Simulator validation at {p} PEs, {bytes} bytes\n");
+    let inputs: Vec<Vec<f32>> = (0..p as usize).map(|i| sample_vector(i, b as usize)).collect();
+    let expected = expected_reduce(&inputs, ReduceOp::Sum);
+    let mut results: Vec<(String, u64, f64)> = Vec::new();
+    for pattern in ReducePattern::all() {
+        let plan =
+            allreduce_1d_plan(AllReducePattern::ReduceBroadcast(pattern), p, b, ReduceOp::Sum, &machine);
+        let outcome = run_plan(&plan, &inputs, &RunConfig::default()).expect("plan runs");
+        assert_outputs_close(&outcome, &expected, 1e-3);
+        let predicted = wse_model::costs_1d::reduce_then_broadcast(
+            pattern.model_algorithm().cycles(p as u64, b as u64, &machine, None),
+            p as u64,
+            b as u64,
+            &machine,
+        );
+        results.push((format!("{}+Bcast", pattern.name()), outcome.runtime_cycles(), predicted));
+    }
+    println!("{:<20} {:>12} {:>12} {:>10}", "algorithm", "measured", "predicted", "error");
+    for (name, measured, predicted) in &results {
+        let err = (predicted - *measured as f64).abs() / *measured as f64 * 100.0;
+        println!("{name:<20} {measured:>12} {predicted:>12.0} {err:>9.1}%");
+    }
+    let best_measured = results.iter().min_by_key(|(_, m, _)| *m).unwrap();
+    let best_predicted =
+        results.iter().min_by(|a, b| a.2.partial_cmp(&b.2).unwrap()).unwrap();
+    println!(
+        "\nfastest measured: {} — fastest predicted: {}{}",
+        best_measured.0,
+        best_predicted.0,
+        if best_measured.0 == best_predicted.0 { " (the model picked the winner)" } else { "" }
+    );
+}

@@ -1,0 +1,54 @@
+//! Quickstart: reduce and all-reduce a 1 KB vector over a row of PEs.
+//!
+//! Demonstrates the basic workflow of the library:
+//!
+//! 1. pick an algorithm (by hand or via the performance model),
+//! 2. build its plan (the generated per-PE code and routing),
+//! 3. run it on the cycle-level fabric simulator,
+//! 4. compare the measured cycles with the model prediction.
+//!
+//! Run with `cargo run --release -p wse-examples --bin quickstart`.
+
+use wse_collectives::prelude::*;
+use wse_examples::{print_run_summary, sample_vector};
+
+fn main() {
+    let machine = Machine::wse2();
+    let p: u32 = 64; // PEs in the row
+    let b: u32 = 256; // 1 KB of f32 values per PE
+
+    println!("# Wafer-scale Reduce quickstart: {p} PEs, {} bytes per PE\n", b * 4);
+
+    let inputs: Vec<Vec<f32>> = (0..p as usize).map(|i| sample_vector(i, b as usize)).collect();
+    let expected = expected_reduce(&inputs, ReduceOp::Sum);
+
+    // 1. Every fixed pattern of the paper, plus the Auto-Gen schedule.
+    for pattern in ReducePattern::all() {
+        let plan = reduce_1d_plan(pattern, p, b, ReduceOp::Sum, &machine);
+        let outcome = run_plan(&plan, &inputs, &RunConfig::default()).expect("plan runs");
+        assert_outputs_close(&outcome, &expected, 1e-4);
+        let predicted = pattern.model_algorithm().cycles(p as u64, b as u64, &machine, None);
+        print_run_summary(
+            &format!("Reduce / {}", pattern.name()),
+            &plan,
+            outcome.runtime_cycles(),
+        );
+        println!("{:<40} {predicted:>10.0} cycles (model prediction)", "");
+    }
+
+    // 2. Model-driven selection: let the model pick the fixed algorithm.
+    let selected = select_reduce_1d(p, b, ReduceOp::Sum, &machine);
+    println!("\nmodel-selected fixed algorithm: {}", selected.algorithm);
+
+    // 3. AllReduce: reduce-then-broadcast with the selected pattern.
+    let allreduce = select_allreduce_1d(p, b, ReduceOp::Sum, &machine);
+    let outcome = run_plan(&allreduce.plan, &inputs, &RunConfig::default()).expect("plan runs");
+    assert_outputs_close(&outcome, &expected, 1e-4);
+    print_run_summary(
+        &format!("AllReduce / {}", allreduce.algorithm),
+        &allreduce.plan,
+        outcome.runtime_cycles(),
+    );
+
+    println!("\nAll results verified against a serial reference reduction.");
+}

@@ -1,0 +1,116 @@
+//! End-to-end integration tests for the 1D collectives: every algorithm of
+//! §4–§6, generated from the model, executed on the fabric simulator, and
+//! verified against a serial reference.
+
+use wse_collectives::prelude::*;
+use wse_integration_tests::{deterministic_inputs, run_and_verify};
+use wse_model::Machine;
+
+fn machine() -> Machine {
+    Machine::wse2()
+}
+
+#[test]
+fn all_reduce_patterns_are_correct_across_shapes() {
+    let m = machine();
+    for (p, b) in [(4u32, 1u32), (7, 16), (16, 64), (33, 128), (64, 256)] {
+        for pattern in ReducePattern::all() {
+            let plan = reduce_1d_plan(pattern, p, b, ReduceOp::Sum, &m);
+            run_and_verify(&plan, ReduceOp::Sum);
+        }
+    }
+}
+
+#[test]
+fn all_allreduce_patterns_are_correct_across_shapes() {
+    let m = machine();
+    for (p, b) in [(4u32, 8u32), (8, 64), (16, 32)] {
+        for pattern in ReducePattern::all() {
+            let plan =
+                allreduce_1d_plan(AllReducePattern::ReduceBroadcast(pattern), p, b, ReduceOp::Sum, &m);
+            run_and_verify(&plan, ReduceOp::Sum);
+        }
+        let ring = allreduce_1d_plan(AllReducePattern::Ring, p, b, ReduceOp::Sum, &m);
+        run_and_verify(&ring, ReduceOp::Sum);
+    }
+}
+
+#[test]
+fn broadcast_delivers_to_every_pe_and_costs_one_message() {
+    let p = 48u32;
+    let b = 96u32;
+    let path = LinePath::row(GridDim::row(p), 0);
+    let plan = flood_broadcast_plan(&path, b, wse_fabric::wavelet::Color::new(0));
+    let inputs = deterministic_inputs(1, b as usize);
+    let outcome = run_plan(&plan, &inputs, &RunConfig::default()).unwrap();
+    assert_eq!(outcome.outputs.len(), p as usize);
+    for (_, out) in &outcome.outputs {
+        assert_eq!(out, &inputs[0]);
+    }
+    // Energy must equal a single message's energy: B wavelets over P-1 links.
+    assert_eq!(outcome.report.energy_hops, (b as u64) * (p as u64 - 1));
+}
+
+#[test]
+fn measured_contention_matches_the_model_terms() {
+    // The model's contention term is the number of wavelets the most loaded
+    // PE receives: B(P-1) for the star, B for the chain, ~2B for two-phase.
+    let m = machine();
+    let p = 16u32;
+    let b = 32u32;
+    let inputs = deterministic_inputs(p as usize, b as usize);
+
+    let star = reduce_1d_plan(ReducePattern::Star, p, b, ReduceOp::Sum, &m);
+    let outcome = run_plan(&star, &inputs, &RunConfig::default()).unwrap();
+    assert_eq!(outcome.report.max_received, (b * (p - 1)) as u64);
+
+    let chain = reduce_1d_plan(ReducePattern::Chain, p, b, ReduceOp::Sum, &m);
+    let outcome = run_plan(&chain, &inputs, &RunConfig::default()).unwrap();
+    assert_eq!(outcome.report.max_received, b as u64);
+
+    let two_phase = reduce_1d_plan(ReducePattern::TwoPhase, p, b, ReduceOp::Sum, &m);
+    let outcome = run_plan(&two_phase, &inputs, &RunConfig::default()).unwrap();
+    assert_eq!(outcome.report.max_received, 2 * b as u64);
+}
+
+#[test]
+fn autogen_matches_or_beats_fixed_patterns_on_the_simulator() {
+    let m = machine();
+    for (p, b) in [(16u32, 4u32), (32, 64), (48, 512)] {
+        let auto = run_and_verify(&reduce_1d_plan(ReducePattern::AutoGen, p, b, ReduceOp::Sum, &m), ReduceOp::Sum);
+        for pattern in [ReducePattern::Star, ReducePattern::Chain, ReducePattern::Tree, ReducePattern::TwoPhase] {
+            let fixed = run_and_verify(&reduce_1d_plan(pattern, p, b, ReduceOp::Sum, &m), ReduceOp::Sum);
+            assert!(
+                auto as f64 <= fixed as f64 * 1.10 + 24.0,
+                "p={p} b={b}: Auto-Gen {auto} should not lose to {} ({fixed})",
+                pattern.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn every_reduce_op_is_supported_end_to_end() {
+    let m = machine();
+    for op in [ReduceOp::Sum, ReduceOp::Max, ReduceOp::Min, ReduceOp::Prod] {
+        let plan = reduce_1d_plan(ReducePattern::TwoPhase, 9, 16, op, &m);
+        run_and_verify(&plan, op);
+    }
+}
+
+#[test]
+fn color_budget_stays_within_the_hardware_limit() {
+    // 1D plans use at most 3 colors, matching §8.2.
+    let m = machine();
+    for pattern in ReducePattern::all() {
+        let reduce = reduce_1d_plan(pattern, 32, 64, ReduceOp::Sum, &m);
+        assert!(reduce.colors_used().len() <= 2);
+        let allreduce =
+            allreduce_1d_plan(AllReducePattern::ReduceBroadcast(pattern), 32, 64, ReduceOp::Sum, &m);
+        assert!(allreduce.colors_used().len() <= 3);
+    }
+    assert!(allreduce_1d_plan(AllReducePattern::Ring, 8, 64, ReduceOp::Sum, &m)
+        .colors_used()
+        .len()
+        <= 3);
+}

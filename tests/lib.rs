@@ -1,0 +1,21 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use wse_collectives::prelude::*;
+
+/// Deterministic input vectors for `pes` PEs with `len` elements each.
+pub fn deterministic_inputs(pes: usize, len: usize) -> Vec<Vec<f32>> {
+    (0..pes)
+        .map(|i| (0..len).map(|j| ((i * 13 + j * 5) % 97) as f32 * 0.0625 - 1.5).collect())
+        .collect()
+}
+
+/// Run a plan on deterministic inputs and assert the result matches the
+/// serial reference reduction; returns the measured runtime in cycles.
+pub fn run_and_verify(plan: &CollectivePlan, op: ReduceOp) -> u64 {
+    let inputs = deterministic_inputs(plan.data_pes().len(), plan.vector_len() as usize);
+    let outcome = run_plan(plan, &inputs, &RunConfig::default())
+        .unwrap_or_else(|e| panic!("plan {} failed: {e}", plan.name()));
+    let expected = expected_reduce(&inputs, op);
+    assert_outputs_close(&outcome, &expected, 1e-3);
+    outcome.runtime_cycles()
+}

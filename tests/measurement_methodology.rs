@@ -1,0 +1,80 @@
+//! Integration tests of the §8.3 measurement methodology: clock-skewed,
+//! thermally noisy runs whose calibrated measurement must agree with the
+//! noise-free runtime.
+
+use wse_collectives::measured::{measured_run, MeasureConfig};
+use wse_collectives::prelude::*;
+use wse_fabric::{ClockModel, NoiseModel};
+use wse_integration_tests::deterministic_inputs;
+use wse_model::Machine;
+
+fn plain_runtime(plan: &CollectivePlan) -> u64 {
+    let inputs = deterministic_inputs(plan.data_pes().len(), plan.vector_len() as usize);
+    run_plan(plan, &inputs, &RunConfig::default()).unwrap().runtime_cycles()
+}
+
+#[test]
+fn calibrated_measurement_matches_plain_runtime_in_1d() {
+    let m = Machine::wse2();
+    let plan = reduce_1d_plan(ReducePattern::AutoGen, 24, 128, ReduceOp::Sum, &m);
+    let plain = plain_runtime(&plan);
+    let inputs = deterministic_inputs(plan.data_pes().len(), plan.vector_len() as usize);
+
+    let clock = ClockModel::random(plan.dim().num_pes(), 1_000_000, 21);
+    let config = MeasureConfig::new(clock);
+    let measured = measured_run(&plan, &inputs, &config).unwrap();
+    assert!(measured.calibration.measurement.start_spread <= 57, "start spread too large");
+    let diff = (measured.duration() as f64 - plain as f64).abs();
+    assert!(diff <= plain as f64 * 0.15 + 32.0, "measured {} vs plain {plain}", measured.duration());
+}
+
+#[test]
+fn calibrated_measurement_matches_plain_runtime_in_2d() {
+    let m = Machine::wse2();
+    let dim = GridDim::new(6, 6);
+    let plan = reduce_2d_plan(Reduce2dPattern::Xy(ReducePattern::TwoPhase), dim, 32, ReduceOp::Sum, &m);
+    let plain = plain_runtime(&plan);
+    let inputs = deterministic_inputs(plan.data_pes().len(), plan.vector_len() as usize);
+
+    let clock = ClockModel::random(dim.num_pes(), 500_000, 5);
+    let mut config = MeasureConfig::new(clock);
+    config.start_spread_threshold = 129; // the paper's 2D calibration target
+    let measured = measured_run(&plan, &inputs, &config).unwrap();
+    assert!(measured.calibration.measurement.start_spread <= 129);
+    let diff = (measured.duration() as f64 - plain as f64).abs();
+    assert!(diff <= plain as f64 * 0.2 + 48.0, "measured {} vs plain {plain}", measured.duration());
+}
+
+#[test]
+fn thermal_noise_slows_the_run_but_calibration_still_converges() {
+    let m = Machine::wse2();
+    let plan = reduce_1d_plan(ReducePattern::Chain, 16, 64, ReduceOp::Sum, &m);
+    let plain = plain_runtime(&plan);
+    let inputs = deterministic_inputs(plan.data_pes().len(), plan.vector_len() as usize);
+
+    let clock = ClockModel::random(plan.dim().num_pes(), 10_000, 3);
+    let mut config = MeasureConfig::new(clock);
+    config.run.noise = Some(NoiseModel::new(0.08, 11));
+    config.start_spread_threshold = 24;
+    let measured = measured_run(&plan, &inputs, &config).unwrap();
+    // Thermal no-ops can only slow things down (within a reasonable factor).
+    assert!(measured.duration() as f64 >= plain as f64 * 0.9);
+    assert!(measured.duration() as f64 <= plain as f64 * 1.6 + 64.0);
+    assert!(measured.calibration.iterations <= 8);
+}
+
+#[test]
+fn repeated_measurements_have_negligible_variance_without_noise() {
+    // §8.1: five repetitions suffice because the machine is deterministic;
+    // without thermal noise the simulator is exactly deterministic.
+    let m = Machine::wse2();
+    let plan = reduce_1d_plan(ReducePattern::TwoPhase, 16, 64, ReduceOp::Sum, &m);
+    let inputs = deterministic_inputs(plan.data_pes().len(), plan.vector_len() as usize);
+    let clock = ClockModel::random(plan.dim().num_pes(), 77_000, 13);
+    let mut durations = Vec::new();
+    for _ in 0..5 {
+        let config = MeasureConfig::new(clock.clone());
+        durations.push(measured_run(&plan, &inputs, &config).unwrap().duration());
+    }
+    assert!(durations.windows(2).all(|w| w[0] == w[1]), "durations {durations:?}");
+}

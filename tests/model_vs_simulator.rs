@@ -1,0 +1,146 @@
+//! Model-validation integration tests: the analytic predictions of
+//! `wse-model` against the cycle-level measurements of `wse-fabric`.
+//!
+//! The paper validates its model on the CS-2 with mean relative errors
+//! between 4% and 35% depending on the collective, and stresses that even
+//! where absolute predictions are off, the model ranks algorithms correctly
+//! (§8.5: a mis-ranking costs at most ~114 cycles). These tests hold the
+//! reproduction to the same standard against the simulator.
+
+use wse_collectives::prelude::*;
+use wse_integration_tests::{deterministic_inputs, run_and_verify};
+use wse_model::{costs_1d, costs_2d, lower_bound, Machine};
+
+fn machine() -> Machine {
+    Machine::wse2()
+}
+
+fn measured_reduce(pattern: ReducePattern, p: u32, b: u32) -> f64 {
+    let plan = reduce_1d_plan(pattern, p, b, ReduceOp::Sum, &machine());
+    run_and_verify(&plan, ReduceOp::Sum) as f64
+}
+
+#[test]
+fn broadcast_prediction_error_is_small() {
+    let m = machine();
+    for (p, b) in [(16u32, 16u32), (64, 256), (128, 64), (256, 256)] {
+        let path = LinePath::row(GridDim::row(p), 0);
+        let plan = flood_broadcast_plan(&path, b, wse_fabric::wavelet::Color::new(0));
+        let inputs = deterministic_inputs(1, b as usize);
+        let measured = run_plan(&plan, &inputs, &RunConfig::default()).unwrap().runtime_cycles() as f64;
+        let predicted = costs_1d::broadcast(p as u64, b as u64).predict(&m);
+        let err = (measured - predicted).abs() / measured;
+        assert!(err < 0.25, "p={p} b={b}: measured {measured}, predicted {predicted}, err {err:.2}");
+    }
+}
+
+#[test]
+fn reduce_prediction_error_stays_within_the_papers_band() {
+    let m = machine();
+    let cases = [
+        (ReducePattern::Chain, 64u32, 256u32),
+        (ReducePattern::Chain, 32, 1024),
+        (ReducePattern::Tree, 64, 16),
+        (ReducePattern::TwoPhase, 64, 64),
+        (ReducePattern::TwoPhase, 128, 256),
+        (ReducePattern::Star, 16, 256),
+    ];
+    for (pattern, p, b) in cases {
+        let measured = measured_reduce(pattern, p, b);
+        let predicted = pattern.model_algorithm().cycles(p as u64, b as u64, &m, None);
+        let err = (measured - predicted).abs() / measured;
+        assert!(
+            err < 0.40,
+            "{} p={p} b={b}: measured {measured}, predicted {predicted}, err {:.2}",
+            pattern.name(),
+            err
+        );
+    }
+}
+
+#[test]
+fn model_ranks_algorithms_consistently_with_the_simulator() {
+    let m = machine();
+    // Representative points from the three regimes of §5.7.
+    for (p, b) in [(32u32, 2u32), (48, 64), (24, 1024)] {
+        let patterns = [
+            ReducePattern::Star,
+            ReducePattern::Chain,
+            ReducePattern::Tree,
+            ReducePattern::TwoPhase,
+        ];
+        let mut measured: Vec<(ReducePattern, f64)> =
+            patterns.iter().map(|&pat| (pat, measured_reduce(pat, p, b))).collect();
+        let mut predicted: Vec<(ReducePattern, f64)> = patterns
+            .iter()
+            .map(|&pat| (pat, pat.model_algorithm().cycles(p as u64, b as u64, &m, None)))
+            .collect();
+        measured.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        predicted.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        // The algorithm the model predicts to be fastest must be measured to
+        // be within a small margin of the actually fastest one (§8.5).
+        let model_choice = predicted[0].0;
+        let measured_of_choice =
+            measured.iter().find(|(pat, _)| *pat == model_choice).unwrap().1;
+        let fastest_measured = measured[0].1;
+        assert!(
+            measured_of_choice <= fastest_measured * 1.15 + 120.0,
+            "p={p} b={b}: the model's choice {} is {measured_of_choice} cycles, \
+             but {} was measured fastest at {fastest_measured}",
+            model_choice.name(),
+            measured[0].0.name()
+        );
+    }
+}
+
+#[test]
+fn simulated_runtimes_respect_the_lower_bound() {
+    // No simulated algorithm may beat the paper's Reduce lower bound by more
+    // than the simulator's small constant start-up offset.
+    let m = machine();
+    for (p, b) in [(16u32, 8u32), (32, 64), (64, 256)] {
+        let bound = lower_bound::t_star_1d(p as u64, b as u64, &m);
+        for pattern in ReducePattern::all() {
+            let measured = measured_reduce(pattern, p, b);
+            assert!(
+                measured + 16.0 >= bound,
+                "{} p={p} b={b}: measured {measured} below the lower bound {bound}",
+                pattern.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn two_dimensional_predictions_track_the_simulator() {
+    let m = machine();
+    let dim = GridDim::new(8, 8);
+    let b = 64u32;
+    let cases = [
+        (Reduce2dPattern::Xy(ReducePattern::Chain), costs_2d::xy_reduce(8, 8, b as u64, costs_2d::Phase1d::Chain, &m)),
+        (Reduce2dPattern::Xy(ReducePattern::TwoPhase), costs_2d::xy_reduce(8, 8, b as u64, costs_2d::Phase1d::TwoPhase, &m)),
+        (Reduce2dPattern::Snake, costs_2d::snake_reduce(8, 8, b as u64, &m)),
+    ];
+    for (pattern, predicted) in cases {
+        let plan = reduce_2d_plan(pattern, dim, b, ReduceOp::Sum, &m);
+        let measured = run_and_verify(&plan, ReduceOp::Sum) as f64;
+        let err = (measured - predicted).abs() / measured;
+        assert!(
+            err < 0.45,
+            "{}: measured {measured}, predicted {predicted}, err {err:.2}",
+            plan.name()
+        );
+    }
+}
+
+#[test]
+fn ring_prediction_matches_simulation_shape() {
+    let m = machine();
+    for (p, b) in [(4u32, 64u32), (8, 256)] {
+        let plan = allreduce_1d_plan(AllReducePattern::Ring, p, b, ReduceOp::Sum, &m);
+        let measured = run_and_verify(&plan, ReduceOp::Sum) as f64;
+        let predicted = costs_1d::ring_allreduce(p as u64, b as u64).predict(&m);
+        let err = (measured - predicted).abs() / measured;
+        assert!(err < 0.45, "ring p={p} b={b}: measured {measured}, predicted {predicted}");
+    }
+}

@@ -1,0 +1,156 @@
+//! Property-based integration tests: random collective shapes, random data
+//! and random schedules must always produce the reference result on the
+//! simulator, and the model's structural invariants must hold for every
+//! generated schedule.
+
+use proptest::prelude::*;
+
+use wse_collectives::prelude::*;
+use wse_collectives::reduce::tree_reduce_plan;
+use wse_model::autogen::{AutogenSolver, ReductionTree};
+use wse_model::{lower_bound, Machine};
+
+fn machine() -> Machine {
+    Machine::wse2()
+}
+
+
+fn pattern_strategy() -> impl Strategy<Value = ReducePattern> {
+    prop_oneof![
+        Just(ReducePattern::Star),
+        Just(ReducePattern::Chain),
+        Just(ReducePattern::Tree),
+        Just(ReducePattern::TwoPhase),
+        Just(ReducePattern::AutoGen),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Any pattern on any (small) row shape with random data reduces to the
+    /// reference sum.
+    #[test]
+    fn random_reduce_is_correct(
+        p in 2u32..20,
+        b in 1u32..48,
+        pattern in pattern_strategy(),
+        seed in 0u64..1_000_000,
+    ) {
+        let m = machine();
+        let plan = reduce_1d_plan(pattern, p, b, ReduceOp::Sum, &m);
+        let inputs: Vec<Vec<f32>> = (0..p as usize)
+            .map(|i| {
+                (0..b as usize)
+                    .map(|j| {
+                        let x = seed
+                            .wrapping_mul(0x9E3779B97F4A7C15)
+                            .wrapping_add((i * 1000 + j) as u64);
+                        ((x >> 40) as f32) / 1000.0 - 8.0
+                    })
+                    .collect()
+            })
+            .collect();
+        let outcome = run_plan(&plan, &inputs, &RunConfig::default()).unwrap();
+        let expected = expected_reduce(&inputs, ReduceOp::Sum);
+        prop_assert!(wse_collectives::max_relative_error(&outcome.outputs[0].1, &expected) < 1e-3);
+    }
+
+    /// Two-phase schedules with arbitrary group sizes are valid pre-order
+    /// trees and execute correctly.
+    #[test]
+    fn random_two_phase_group_sizes_are_correct(
+        p in 2usize..24,
+        s in 1usize..24,
+        b in 1u32..32,
+    ) {
+        let tree = ReductionTree::two_phase(p, s.min(p));
+        prop_assert!(tree.validate().is_ok());
+        let path = LinePath::row(GridDim::row(p as u32), 0);
+        let plan = tree_reduce_plan("prop-two-phase", &path, &tree, b, ReduceOp::Sum);
+        let inputs: Vec<Vec<f32>> = (0..p).map(|i| vec![i as f32 + 0.5; b as usize]).collect();
+        let outcome = run_plan(&plan, &inputs, &RunConfig::default()).unwrap();
+        let expected = expected_reduce(&inputs, ReduceOp::Sum);
+        prop_assert!(wse_collectives::max_relative_error(&outcome.outputs[0].1, &expected) < 1e-4);
+    }
+
+    /// The Auto-Gen schedule never loses to the fixed patterns under the
+    /// model and never beats the lower bound, for arbitrary shapes.
+    #[test]
+    fn autogen_is_sandwiched_between_bound_and_fixed_patterns(
+        p in 2u64..40,
+        b in 1u64..4096,
+    ) {
+        let m = machine();
+        let solver = AutogenSolver::new(p);
+        let auto = solver.best_cost(b, &m).cycles;
+        let bound = lower_bound::t_star_1d(p, b, &m);
+        prop_assert!(auto + 1e-6 >= bound);
+        for alg in wse_model::Reduce1dAlgorithm::fixed() {
+            prop_assert!(auto <= alg.cycles(p, b, &m, None) + 1e-6);
+        }
+        // The chosen tree is a valid pre-order schedule of the right size.
+        let tree = solver.best_tree(b, &m);
+        prop_assert_eq!(tree.num_pes(), p as usize);
+        prop_assert!(tree.validate().is_ok());
+    }
+
+    /// The ring AllReduce is correct for any PE count and any divisible
+    /// vector length.
+    #[test]
+    fn random_ring_allreduce_is_correct(
+        p in 2u32..12,
+        chunks in 1u32..8,
+        inputs_seed in 0u32..1000,
+    ) {
+        let b = p * chunks;
+        let plan = allreduce_1d_plan(AllReducePattern::Ring, p, b, ReduceOp::Sum, &machine());
+        let inputs: Vec<Vec<f32>> = (0..p as usize)
+            .map(|i| (0..b as usize).map(|j| ((i + j + inputs_seed as usize) % 23) as f32 - 11.0).collect())
+            .collect();
+        let outcome = run_plan(&plan, &inputs, &RunConfig::default()).unwrap();
+        let expected = expected_reduce(&inputs, ReduceOp::Sum);
+        for (_, out) in &outcome.outputs {
+            prop_assert!(wse_collectives::max_relative_error(out, &expected) < 1e-3);
+        }
+    }
+
+    /// 2D collectives on arbitrary small grids produce the reference result.
+    #[test]
+    fn random_grid_reduce_is_correct(
+        w in 1u32..7,
+        h in 1u32..7,
+        b in 1u32..24,
+        snake in proptest::bool::ANY,
+    ) {
+        prop_assume!(w * h >= 2);
+        let m = machine();
+        let pattern = if snake {
+            Reduce2dPattern::Snake
+        } else {
+            Reduce2dPattern::Xy(ReducePattern::TwoPhase)
+        };
+        let dim = GridDim::new(w, h);
+        let plan = reduce_2d_plan(pattern, dim, b, ReduceOp::Sum, &m);
+        let inputs: Vec<Vec<f32>> = (0..dim.num_pes())
+            .map(|i| (0..b as usize).map(|j| (i * 7 + j) as f32 * 0.25).collect())
+            .collect();
+        let outcome = run_plan(&plan, &inputs, &RunConfig::default()).unwrap();
+        let expected = expected_reduce(&inputs, ReduceOp::Sum);
+        prop_assert!(wse_collectives::max_relative_error(&outcome.outputs[0].1, &expected) < 1e-3);
+    }
+
+    /// Random input data is delivered bit-exactly by the broadcast.
+    #[test]
+    fn random_broadcast_is_exact(
+        p in 2u32..40,
+        data in proptest::collection::vec(-1e6f32..1e6, 1..64),
+    ) {
+        let path = LinePath::row(GridDim::row(p), 0);
+        let plan = flood_broadcast_plan(&path, data.len() as u32, wse_fabric::wavelet::Color::new(0));
+        let outcome = run_plan(&plan, &[data.clone()], &RunConfig::default()).unwrap();
+        for (_, out) in &outcome.outputs {
+            prop_assert_eq!(out, &data);
+        }
+    }
+}
