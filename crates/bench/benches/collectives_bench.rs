@@ -12,19 +12,15 @@ use wse_model::autogen::ReductionTree;
 fn bench_plan_generation(c: &mut Criterion) {
     let machine = Machine::wse2();
     let mut group = c.benchmark_group("collectives/plan_generation_p256_b256");
-    for pattern in [
-        ReducePattern::Star,
-        ReducePattern::Chain,
-        ReducePattern::Tree,
-        ReducePattern::TwoPhase,
-    ] {
+    for pattern in
+        [ReducePattern::Star, ReducePattern::Chain, ReducePattern::Tree, ReducePattern::TwoPhase]
+    {
         group.bench_with_input(
             BenchmarkId::from_parameter(pattern.name()),
             &pattern,
             |bencher, &pattern| {
-                bencher.iter(|| {
-                    black_box(reduce_1d_plan(pattern, 256, 256, ReduceOp::Sum, &machine))
-                })
+                bencher
+                    .iter(|| black_box(reduce_1d_plan(pattern, 256, 256, ReduceOp::Sum, &machine)))
             },
         );
     }
@@ -80,7 +76,8 @@ fn bench_two_phase_group_size_ablation(c: &mut Criterion) {
     for s in [2usize, 4, 8, 16, 32] {
         group.bench_with_input(BenchmarkId::from_parameter(s), &s, |bencher, &s| {
             let tree = ReductionTree::two_phase(64, s);
-            let plan = tree_reduce_plan(format!("two-phase-s{s}"), &path, &tree, 256, ReduceOp::Sum);
+            let plan =
+                tree_reduce_plan(format!("two-phase-s{s}"), &path, &tree, 256, ReduceOp::Sum);
             let inputs = make_inputs(64, 256);
             bencher.iter(|| {
                 let outcome = run_plan(&plan, &inputs, &RunConfig::default()).unwrap();
@@ -91,11 +88,42 @@ fn bench_two_phase_group_size_ablation(c: &mut Criterion) {
     group.finish();
 }
 
+/// The amortisation the session API exists for: repeated requests through a
+/// `Session` (plan cache hit + fabric reuse) versus the one-shot path that
+/// regenerates the plan — including the Auto-Gen schedule search, the most
+/// expensive part of plan generation — on every call.
+fn bench_session_amortisation(c: &mut Criterion) {
+    let machine = Machine::wse2();
+    let mut group = c.benchmark_group("collectives/repeat_autogen_reduce_p64_b256");
+    group.sample_size(10);
+    let inputs = make_inputs(64, 256);
+
+    group.bench_function(BenchmarkId::from_parameter("one-shot"), |bencher| {
+        bencher.iter(|| {
+            let plan = reduce_1d_plan(ReducePattern::AutoGen, 64, 256, ReduceOp::Sum, &machine);
+            let outcome = run_plan(&plan, &inputs, &RunConfig::default()).unwrap();
+            black_box(outcome.runtime_cycles())
+        })
+    });
+
+    group.bench_function(BenchmarkId::from_parameter("session"), |bencher| {
+        let mut session = Session::new();
+        let request = CollectiveRequest::reduce(Topology::line(64), 256)
+            .with_schedule(Schedule::Reduce1d(ReducePattern::AutoGen));
+        bencher.iter(|| {
+            let outcome = session.run(&request, &inputs).unwrap();
+            black_box(outcome.runtime_cycles())
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_plan_generation,
     bench_end_to_end_patterns,
     bench_ramp_latency_ablation,
-    bench_two_phase_group_size_ablation
+    bench_two_phase_group_size_ablation,
+    bench_session_amortisation
 );
 criterion_main!(benches);

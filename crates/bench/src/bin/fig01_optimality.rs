@@ -30,11 +30,8 @@ fn main() {
         // The paper prints large PE counts at the top of each heat map.
         for &p in pe_counts.iter().rev() {
             let bound = LowerBound1d::new(p);
-            let solver = if *alg == Reduce1dAlgorithm::AutoGen {
-                Some(AutogenSolver::new(p))
-            } else {
-                None
-            };
+            let solver =
+                if *alg == Reduce1dAlgorithm::AutoGen { Some(AutogenSolver::new(p)) } else { None };
             let mut row = vec![format!("{p}x1")];
             for &bytes in &vector_bytes {
                 let b = sweep::bytes_to_wavelets(bytes);
@@ -46,9 +43,11 @@ fn main() {
             rows.push(row);
         }
         print_table(
-            &format!("Figure 1{}: {} Reduce optimality ratio (1.0 = optimal)",
+            &format!(
+                "Figure 1{}: {} Reduce optimality ratio (1.0 = optimal)",
                 (b'a' + a_idx as u8) as char,
-                alg.name()),
+                alg.name()
+            ),
             &header,
             &rows,
         );
@@ -68,9 +67,7 @@ fn main() {
         .map(|(_, r)| *r)
         .fold(0.0, f64::max);
     println!();
-    println!(
-        "paper: Auto-Gen <= 1.4x, Two-Phase <= 2.4x, previous fixed patterns up to 5.9x"
-    );
+    println!("paper: Auto-Gen <= 1.4x, Two-Phase <= 2.4x, previous fixed patterns up to 5.9x");
     println!(
         "ours : Auto-Gen <= {auto:.2}x, Two-Phase <= {two_phase:.2}x, previous fixed patterns up to {worst_fixed:.2}x"
     );

@@ -44,11 +44,7 @@ fn main() {
         &header,
         &speedup_rows,
     );
-    print_table(
-        "Figure 8 (regions): best fixed 1D AllReduce algorithm",
-        &header,
-        &region_rows,
-    );
+    print_table("Figure 8 (regions): best fixed 1D AllReduce algorithm", &header, &region_rows);
 
     println!("\n## Summary\n");
     println!("largest predicted speedup over the vendor Chain+Bcast: {max_speedup:.2}x");

@@ -25,8 +25,8 @@ fn main() {
         for &bytes in &vector_bytes {
             let b = sweep::bytes_to_wavelets(bytes);
             let best = best_fixed_allreduce_2d(side, side, b, &machine);
-            let chain = Reduce2dAlgorithm::XyChain
-                .allreduce_cycles(side, side, b, &machine, None, None);
+            let chain =
+                Reduce2dAlgorithm::XyChain.allreduce_cycles(side, side, b, &machine, None, None);
             let speedup = chain / best.cycles;
             max_speedup = max_speedup.max(speedup);
             speedups.push(format!("{speedup:.2}"));
@@ -41,11 +41,7 @@ fn main() {
         &header,
         &speedup_rows,
     );
-    print_table(
-        "Figure 10 (regions): best fixed 2D AllReduce algorithm",
-        &header,
-        &region_rows,
-    );
+    print_table("Figure 10 (regions): best fixed 2D AllReduce algorithm", &header, &region_rows);
 
     println!("\n## Summary\n");
     println!("largest predicted speedup over the vendor X-Y Chain: {max_speedup:.2}x");

@@ -40,7 +40,11 @@ fn main() {
     rows.push(predicted_row);
     print_table("Figure 11a: 1D Broadcast on 512x1 PEs (runtime in us)", &header, &rows);
     if let Some((mean, max)) = error_summary(&bcast_cells) {
-        println!("model error: mean {:.1}% / max {:.1}% (paper: <= 21%)", mean * 100.0, max * 100.0);
+        println!(
+            "model error: mean {:.1}% / max {:.1}% (paper: <= 21%)",
+            mean * 100.0,
+            max * 100.0
+        );
     }
 
     // ---------------------------------------------------------------- (b)
@@ -92,9 +96,7 @@ fn main() {
         .zip(&per_pattern[auto_idx])
         .map(|(c, a)| c.best_estimate() / a.best_estimate())
         .fold(0.0, f64::max);
-    println!(
-        "largest Auto-Gen speedup over the vendor Chain: {speedup:.2}x (paper: up to 3.16x)"
-    );
+    println!("largest Auto-Gen speedup over the vendor Chain: {speedup:.2}x (paper: up to 3.16x)");
 
     // ---------------------------------------------------------------- (c)
     let mut rows = Vec::new();
@@ -155,11 +157,7 @@ fn main() {
     if let Some((mean, max)) = error_summary(&ar_cells) {
         println!("model error: mean {:.1}% / max {:.1}%", mean * 100.0, max * 100.0);
     }
-    let speedup = chain_row_best
-        .iter()
-        .zip(&auto_row_best)
-        .map(|(c, a)| c / a)
-        .fold(0.0, f64::max);
+    let speedup = chain_row_best.iter().zip(&auto_row_best).map(|(c, a)| c / a).fold(0.0, f64::max);
     println!(
         "largest Auto-Gen AllReduce speedup over Chain+Bcast: {speedup:.2}x (paper: up to 2.47x)"
     );

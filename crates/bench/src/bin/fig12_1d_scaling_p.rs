@@ -35,7 +35,11 @@ fn main() {
     rows.push(predicted_row);
     print_table("Figure 12a: 1D Broadcast at 1 KB for increasing PE count (us)", &header, &rows);
     if let Some((mean, max)) = error_summary(&cells) {
-        println!("model error: mean {:.1}% / max {:.1}% (paper: 8%-21%)", mean * 100.0, max * 100.0);
+        println!(
+            "model error: mean {:.1}% / max {:.1}% (paper: 8%-21%)",
+            mean * 100.0,
+            max * 100.0
+        );
     }
 
     // ---------------------------------------------------------------- (b)
@@ -78,11 +82,7 @@ fn main() {
             max * 100.0
         );
     }
-    let worst = auto_best
-        .iter()
-        .zip(&best_fixed)
-        .map(|(a, f)| a / f)
-        .fold(0.0f64, f64::max);
+    let worst = auto_best.iter().zip(&best_fixed).map(|(a, f)| a / f).fold(0.0f64, f64::max);
     println!(
         "Auto-Gen vs best fixed pattern across PE counts: never more than {:.2}x slower \
          (the paper finds Auto-Gen fastest throughout, with Two-Phase matching it from 64 PEs on)",

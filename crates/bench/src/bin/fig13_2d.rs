@@ -61,12 +61,12 @@ fn main() {
         rows.push(measured_row);
         rows.push(predicted_row);
     }
-    print_table("Figure 13a: 2D Reduce on 512x512 PEs for increasing vector length (us)", &header, &rows);
-    let speedup = chain_series
-        .iter()
-        .zip(&auto_series)
-        .map(|(c, a)| c / a)
-        .fold(0.0f64, f64::max);
+    print_table(
+        "Figure 13a: 2D Reduce on 512x512 PEs for increasing vector length (us)",
+        &header,
+        &rows,
+    );
+    let speedup = chain_series.iter().zip(&auto_series).map(|(c, a)| c / a).fold(0.0f64, f64::max);
     println!("largest X-Y Auto-Gen speedup over the vendor X-Y Chain: {speedup:.2}x (paper: up to 3.27x)");
 
     // ---------------------------------------------------------------- (b)
@@ -100,17 +100,24 @@ fn main() {
         let b = sweep::bytes_to_wavelets(bytes);
         ring_row.push(format!(
             "{:.3}",
-            cycles_to_us(wse_model::costs_2d::xy_ring_allreduce(side as u64, side as u64, b, &machine))
+            cycles_to_us(wse_model::costs_2d::xy_ring_allreduce(
+                side as u64,
+                side as u64,
+                b,
+                &machine
+            ))
         ));
     }
     rows.push(ring_row);
-    print_table("Figure 13b: 2D AllReduce on 512x512 PEs for increasing vector length (us)", &header, &rows);
-    let speedup = chain_series
-        .iter()
-        .zip(&auto_series)
-        .map(|(c, a)| c / a)
-        .fold(0.0f64, f64::max);
-    println!("largest X-Y Auto-Gen AllReduce speedup over X-Y Chain: {speedup:.2}x (paper: up to 2.54x)");
+    print_table(
+        "Figure 13b: 2D AllReduce on 512x512 PEs for increasing vector length (us)",
+        &header,
+        &rows,
+    );
+    let speedup = chain_series.iter().zip(&auto_series).map(|(c, a)| c / a).fold(0.0f64, f64::max);
+    println!(
+        "largest X-Y Auto-Gen AllReduce speedup over X-Y Chain: {speedup:.2}x (paper: up to 2.54x)"
+    );
 
     // ---------------------------------------------------------------- (c)
     let b = sweep::bytes_to_wavelets(sweep::FIXED_VECTOR_BYTES) as u32;
@@ -137,7 +144,11 @@ fn main() {
     }
     print_table("Figure 13c: 2D Reduce at 1 KB for increasing grid size (us)", &header, &rows);
     if let Some((mean, max)) = error_summary(&cells) {
-        println!("model error (simulated grid sizes): mean {:.1}% / max {:.1}%", mean * 100.0, max * 100.0);
+        println!(
+            "model error (simulated grid sizes): mean {:.1}% / max {:.1}%",
+            mean * 100.0,
+            max * 100.0
+        );
     }
 
     // Best-algorithm transitions along the grid-size axis (paper §8.7:

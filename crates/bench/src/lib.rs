@@ -9,8 +9,8 @@
 //! from the validated model instead, see DESIGN.md), and a small parallel
 //! sweep runner.
 
-use crossbeam::channel;
-use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Mutex;
 
 use wse_collectives::prelude::*;
 use wse_collectives::runner::expected_reduce;
@@ -61,11 +61,7 @@ impl HarnessOptions {
 /// ordering mistakes).
 pub fn make_inputs(pes: usize, vector_len: usize) -> Vec<Vec<f32>> {
     (0..pes)
-        .map(|i| {
-            (0..vector_len)
-                .map(|j| ((i * 31 + j * 7) % 113) as f32 * 0.03125 + 0.5)
-                .collect()
-        })
+        .map(|i| (0..vector_len).map(|j| ((i * 31 + j * 7) % 113) as f32 * 0.03125 + 0.5).collect())
         .collect()
 }
 
@@ -116,8 +112,7 @@ impl Cell {
 
     /// Relative model error (|measured − predicted| / measured), if measured.
     pub fn relative_error(&self) -> Option<f64> {
-        self.measured_cycles
-            .map(|m| (m - self.predicted_cycles).abs() / m.max(1.0))
+        self.measured_cycles.map(|m| (m - self.predicted_cycles).abs() / m.max(1.0))
     }
 }
 
@@ -156,25 +151,25 @@ where
     F: FnOnce() -> T + Send,
 {
     let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..jobs.len()).map(|_| None).collect());
-    let (tx, rx) = channel::unbounded();
-    for (index, job) in jobs.into_iter().enumerate() {
-        tx.send((index, job)).expect("queueing a sweep job");
-    }
-    drop(tx);
-    crossbeam::scope(|scope| {
+    let queue: Mutex<VecDeque<(usize, F)>> = Mutex::new(jobs.into_iter().enumerate().collect());
+    let results: Mutex<Vec<Option<T>>> = {
+        let len = queue.lock().unwrap().len();
+        Mutex::new((0..len).map(|_| None).collect())
+    };
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| {
-                while let Ok((index, job)) = rx.recv() {
-                    let value = job();
-                    results.lock()[index] = Some(value);
-                }
+            scope.spawn(|| loop {
+                let Some((index, job)) = queue.lock().unwrap().pop_front() else {
+                    break;
+                };
+                let value = job();
+                results.lock().unwrap()[index] = Some(value);
             });
         }
-    })
-    .expect("sweep workers do not panic");
+    });
     results
         .into_inner()
+        .unwrap()
         .into_iter()
         .map(|v| v.expect("every sweep job produces a result"))
         .collect()
@@ -255,9 +250,13 @@ pub fn allreduce_1d_cell(
     };
     let measured = if simulatable && opts.within_budget(predicted, p as u64) {
         let plan = match pattern {
-            AllReducePattern::ReduceBroadcast(inner) => {
-                allreduce_1d_plan(AllReducePattern::ReduceBroadcast(inner), p, b, ReduceOp::Sum, machine)
-            }
+            AllReducePattern::ReduceBroadcast(inner) => allreduce_1d_plan(
+                AllReducePattern::ReduceBroadcast(inner),
+                p,
+                b,
+                ReduceOp::Sum,
+                machine,
+            ),
             AllReducePattern::Ring => {
                 allreduce_1d_plan(AllReducePattern::Ring, p, b, ReduceOp::Sum, machine)
             }

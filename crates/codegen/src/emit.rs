@@ -120,7 +120,8 @@ fn write_instruction(out: &mut String, idx: usize, instruction: &Instruction) {
         }
         Instruction::Compute { cycles } => {
             let _ = writeln!(out, "  // step {idx}: calibrated wait ({cycles} one-cycle writes)");
-            let _ = writeln!(out, "  for (@range(u32, {cycles})) |_| {{ scratch = scratch +% 1; }}");
+            let _ =
+                writeln!(out, "  for (@range(u32, {cycles})) |_| {{ scratch = scratch +% 1; }}");
         }
         Instruction::Exchange { send_color, send_offset, recv_color, recv_offset, len, mode } => {
             let verb = match mode {
@@ -151,7 +152,14 @@ fn write_instruction(out: &mut String, idx: usize, instruction: &Instruction) {
 pub fn emit_pe_source(plan: &CollectivePlan, at: Coord) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "// Generated by wse-codegen from plan \"{}\"", plan.name());
-    let _ = writeln!(out, "// PE ({}, {}) of a {}x{} rectangle", at.x, at.y, plan.dim().width, plan.dim().height);
+    let _ = writeln!(
+        out,
+        "// PE ({}, {}) of a {}x{} rectangle",
+        at.x,
+        at.y,
+        plan.dim().width,
+        plan.dim().height
+    );
     let _ = writeln!(out);
 
     let scripts = plan.scripts(at);
@@ -178,7 +186,11 @@ pub fn emit_pe_source(plan: &CollectivePlan, at: Coord) -> String {
     }
 
     let program = plan.program(at);
-    let _ = writeln!(out, "var local = @zeros([{}]f32);", plan.vector_len().max(program.required_memory()));
+    let _ = writeln!(
+        out,
+        "var local = @zeros([{}]f32);",
+        plan.vector_len().max(program.required_memory())
+    );
     let _ = writeln!(out, "var scratch: u32 = 0;");
     let _ = writeln!(out);
     let _ = writeln!(out, "task collective_task() void {{");

@@ -23,11 +23,33 @@ pub enum AllReducePattern {
 }
 
 impl AllReducePattern {
-    /// Name as used in the paper's figures.
-    pub fn name(&self) -> String {
+    /// Name as used in the paper's figures. Returns `&'static str`,
+    /// consistent with [`ReducePattern::name`].
+    pub fn name(&self) -> &'static str {
         match self {
-            Self::ReduceBroadcast(p) => format!("{}+Bcast", p.name()),
-            Self::Ring => "Ring".to_string(),
+            Self::ReduceBroadcast(ReducePattern::Star) => "Star+Bcast",
+            Self::ReduceBroadcast(ReducePattern::Chain) => "Chain+Bcast",
+            Self::ReduceBroadcast(ReducePattern::Tree) => "Tree+Bcast",
+            Self::ReduceBroadcast(ReducePattern::TwoPhase) => "Two-Phase+Bcast",
+            Self::ReduceBroadcast(ReducePattern::AutoGen) => "Auto-Gen+Bcast",
+            Self::Ring => "Ring",
+        }
+    }
+
+    /// The plan-side pattern corresponding to a model-side algorithm label.
+    ///
+    /// The Butterfly is analysed by the model only (§6.3); its plan-side
+    /// stand-in is the Ring, exactly as in the model's own best-algorithm
+    /// regions.
+    pub fn from_model(alg: wse_model::AllReduce1dAlgorithm) -> Self {
+        use wse_model::AllReduce1dAlgorithm as A;
+        match alg {
+            A::StarBcast => AllReducePattern::ReduceBroadcast(ReducePattern::Star),
+            A::ChainBcast => AllReducePattern::ReduceBroadcast(ReducePattern::Chain),
+            A::TreeBcast => AllReducePattern::ReduceBroadcast(ReducePattern::Tree),
+            A::TwoPhaseBcast => AllReducePattern::ReduceBroadcast(ReducePattern::TwoPhase),
+            A::AutoGenBcast => AllReducePattern::ReduceBroadcast(ReducePattern::AutoGen),
+            A::Ring | A::Butterfly => AllReducePattern::Ring,
         }
     }
 }
@@ -92,12 +114,14 @@ pub fn ring_allreduce_plan(p: u32, vector_len: u32, op: ReduceOp) -> CollectiveP
         vector_len,
     );
 
-    let send_color = |x: u32| if x == p - 1 {
-        wrap
-    } else if x.is_multiple_of(2) {
-        east_even
-    } else {
-        east_odd
+    let send_color = |x: u32| {
+        if x == p - 1 {
+            wrap
+        } else if x.is_multiple_of(2) {
+            east_even
+        } else {
+            east_odd
+        }
     };
     let recv_color = |x: u32| if x == 0 { wrap } else { send_color(x - 1) };
 
@@ -167,7 +191,14 @@ pub fn ring_allreduce_plan(p: u32, vector_len: u32, op: ReduceOp) -> CollectiveP
         for r in 0..p as i64 - 1 {
             let send_chunk = chunk_index(my + 1 - r);
             let recv_chunk = chunk_index(my - r);
-            program.exchange(sc, send_chunk * chunk, rc, recv_chunk * chunk, chunk, RecvMode::Store);
+            program.exchange(
+                sc,
+                send_chunk * chunk,
+                rc,
+                recv_chunk * chunk,
+                chunk,
+                RecvMode::Store,
+            );
         }
         plan.add_data_pe(at);
         plan.add_result_pe(at);
@@ -255,9 +286,7 @@ mod tests {
     }
 
     fn inputs(p: usize, b: usize) -> Vec<Vec<f32>> {
-        (0..p)
-            .map(|i| (0..b).map(|j| ((i * b + j) % 17) as f32 * 0.5 - 2.0).collect())
-            .collect()
+        (0..p).map(|i| (0..b).map(|j| ((i * b + j) % 17) as f32 * 0.5 - 2.0).collect()).collect()
     }
 
     #[test]
@@ -362,13 +391,10 @@ mod tests {
         let p = 4u32;
         let b = 1024u32;
         let data = inputs(p as usize, b as usize);
-        let ring = run_plan(
-            &ring_allreduce_plan(p, b, ReduceOp::Sum),
-            &data,
-            &RunConfig::default(),
-        )
-        .unwrap()
-        .runtime_cycles();
+        let ring =
+            run_plan(&ring_allreduce_plan(p, b, ReduceOp::Sum), &data, &RunConfig::default())
+                .unwrap()
+                .runtime_cycles();
         let chain = run_plan(
             &allreduce_1d_plan(
                 AllReducePattern::ReduceBroadcast(ReducePattern::Chain),

@@ -150,7 +150,7 @@ mod tests {
         let b = 12;
         let plan = flood_broadcast_plan(&path, b, Color::new(2));
         let data: Vec<f32> = (0..b).map(|i| i as f32 * 1.5).collect();
-        let outcome = run_plan(&plan, &[data.clone()], &RunConfig::default()).unwrap();
+        let outcome = run_plan(&plan, std::slice::from_ref(&data), &RunConfig::default()).unwrap();
         assert_eq!(outcome.outputs.len(), 9);
         for (_, out) in &outcome.outputs {
             assert_eq!(out, &data);
@@ -179,7 +179,7 @@ mod tests {
         let b = 7;
         let plan = flood_broadcast_2d_plan(dim, b, Color::new(4));
         let data: Vec<f32> = (0..b).map(|i| (i as f32).sin()).collect();
-        let outcome = run_plan(&plan, &[data.clone()], &RunConfig::default()).unwrap();
+        let outcome = run_plan(&plan, std::slice::from_ref(&data), &RunConfig::default()).unwrap();
         assert_eq!(outcome.outputs.len(), 20);
         for (_, out) in &outcome.outputs {
             assert_eq!(out, &data);
@@ -196,7 +196,8 @@ mod tests {
             let b = 3;
             let plan = flood_broadcast_2d_plan(dim, b, Color::new(1));
             let data = vec![2.5f32; b as usize];
-            let outcome = run_plan(&plan, &[data.clone()], &RunConfig::default()).unwrap();
+            let outcome =
+                run_plan(&plan, std::slice::from_ref(&data), &RunConfig::default()).unwrap();
             for (_, out) in &outcome.outputs {
                 assert_eq!(out, &data);
             }
@@ -217,7 +218,7 @@ mod tests {
             plan.add_result_pe(*c);
         }
         let data = vec![9.0f32, 8.0, 7.0, 6.0];
-        let outcome = run_plan(&plan, &[data.clone()], &RunConfig::default()).unwrap();
+        let outcome = run_plan(&plan, std::slice::from_ref(&data), &RunConfig::default()).unwrap();
         for (_, out) in &outcome.outputs {
             assert_eq!(out, &data);
         }

@@ -1,0 +1,149 @@
+//! Typed errors for plan construction, request resolution and execution.
+//!
+//! The seed of this reproduction used `Result<_, String>` for path
+//! validation and the raw `FabricError` for execution; everything now flows
+//! through one [`CollectiveError`] enum so callers can match on failure
+//! causes instead of parsing messages. The enum is hand-rolled (no
+//! `thiserror`) because the workspace builds without external dependencies.
+
+use wse_fabric::engine::FabricError;
+use wse_fabric::geometry::Coord;
+
+use crate::request::{CollectiveKind, Schedule, Topology};
+
+/// Everything that can go wrong building or executing a collective.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CollectiveError {
+    /// A [`crate::path::LinePath`] must contain at least one PE.
+    EmptyPath,
+    /// A path coordinate lies outside the grid.
+    PathOutsideGrid {
+        /// The offending coordinate.
+        coord: Coord,
+        /// Grid width.
+        width: u32,
+        /// Grid height.
+        height: u32,
+    },
+    /// Two consecutive path positions are not mesh neighbours.
+    PathNotAdjacent {
+        /// Earlier position.
+        a: Coord,
+        /// Later position.
+        b: Coord,
+    },
+    /// A coordinate appears twice in a path.
+    PathDuplicate {
+        /// The repeated coordinate.
+        coord: Coord,
+    },
+    /// A request names a schedule that does not fit its collective kind or
+    /// topology (e.g. a 2D pattern on a 1D line).
+    ScheduleMismatch {
+        /// The requested collective.
+        kind: CollectiveKind,
+        /// The requested topology.
+        topology: Topology,
+        /// The incompatible schedule.
+        schedule: Schedule,
+    },
+    /// A request parameter is outside the supported domain (zero-length
+    /// vectors, empty topologies, non-canonical roots, indivisible ring
+    /// vectors, ...).
+    InvalidRequest {
+        /// What was wrong with the request.
+        reason: String,
+    },
+    /// The number of input vectors does not match the plan's data PEs.
+    InputCountMismatch {
+        /// Data PEs of the plan.
+        expected: usize,
+        /// Input vectors supplied.
+        got: usize,
+    },
+    /// An input vector's length does not match the plan's vector length.
+    InputLengthMismatch {
+        /// Index of the offending input vector.
+        index: usize,
+        /// The plan's vector length.
+        expected: u32,
+        /// The supplied vector's length.
+        got: usize,
+    },
+    /// The fabric simulation failed.
+    Fabric(FabricError),
+}
+
+impl std::fmt::Display for CollectiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CollectiveError::EmptyPath => {
+                write!(f, "a path must contain at least one PE")
+            }
+            CollectiveError::PathOutsideGrid { coord, width, height } => {
+                write!(f, "coordinate {coord} lies outside the {width}x{height} grid")
+            }
+            CollectiveError::PathNotAdjacent { a, b } => {
+                write!(f, "path positions {a} and {b} are not adjacent")
+            }
+            CollectiveError::PathDuplicate { coord } => {
+                write!(f, "coordinate {coord} appears twice in the path")
+            }
+            CollectiveError::ScheduleMismatch { kind, topology, schedule } => {
+                write!(
+                    f,
+                    "schedule {schedule:?} cannot realise a {kind:?} on topology {topology:?}"
+                )
+            }
+            CollectiveError::InvalidRequest { reason } => {
+                write!(f, "invalid collective request: {reason}")
+            }
+            CollectiveError::InputCountMismatch { expected, got } => {
+                write!(f, "plan requires {expected} input vectors, got {got}")
+            }
+            CollectiveError::InputLengthMismatch { index, expected, got } => {
+                write!(
+                    f,
+                    "input vector {index} has {got} elements, the plan's vector length is {expected}"
+                )
+            }
+            CollectiveError::Fabric(e) => write!(f, "fabric execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CollectiveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CollectiveError::Fabric(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FabricError> for CollectiveError {
+    fn from(e: FabricError) -> Self {
+        CollectiveError::Fabric(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = CollectiveError::PathOutsideGrid { coord: Coord::new(5, 0), width: 4, height: 4 };
+        assert!(e.to_string().contains("outside the 4x4 grid"));
+        let e = CollectiveError::InputCountMismatch { expected: 4, got: 3 };
+        assert!(e.to_string().contains("4 input vectors"));
+    }
+
+    #[test]
+    fn fabric_errors_convert_and_chain() {
+        let inner = FabricError::CycleLimitExceeded { limit: 10 };
+        let e: CollectiveError = inner.clone().into();
+        assert_eq!(e, CollectiveError::Fabric(inner));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -6,6 +6,51 @@
 //! mesh simulator of `wse-fabric` and driven by the performance model of
 //! `wse-model`.
 //!
+//! ## The request API
+//!
+//! The paper's workflow is *model → select → generate → run* (§1.3, §10).
+//! The library exposes it as one coherent pipeline:
+//!
+//! * a [`CollectiveRequest`] describes any collective — `Reduce` /
+//!   `AllReduce` / `Broadcast`, on a 1D [`Topology::Line`] or a 2D
+//!   [`Topology::Grid`], with a vector length, a [`ReduceOp`] and a
+//!   [`Schedule`] that is either an explicit pattern or [`Schedule::Auto`]
+//!   model-driven selection;
+//! * a [`Session`] resolves requests into executable [`CollectivePlan`]s
+//!   through an LRU **plan cache** and executes them on a reused,
+//!   resettable fabric — generate once, run many times.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use wse_collectives::prelude::*;
+//!
+//! // Reduce 1 KiB vectors (256 f32 values) across a row of 16 PEs with the
+//! // Two-Phase schedule.
+//! let mut session = Session::new();
+//! let request = CollectiveRequest::reduce(Topology::line(16), 256)
+//!     .with_schedule(Schedule::Reduce1d(ReducePattern::TwoPhase));
+//!
+//! let inputs: Vec<Vec<f32>> = (0..16).map(|i| vec![i as f32; 256]).collect();
+//! let outcome = session.run(&request, &inputs).unwrap();
+//!
+//! let expected = expected_reduce(&inputs, ReduceOp::Sum);
+//! assert_outputs_close(&outcome, &expected, 1e-4);
+//! println!("runtime: {} cycles", outcome.runtime_cycles());
+//!
+//! // Let the model pick the algorithm instead (§1.3/§10): the same request
+//! // with the default `Schedule::Auto`, over the same session. Repeated
+//! // requests hit the plan cache — plan generation happened once per
+//! // distinct request.
+//! let auto = CollectiveRequest::allreduce(Topology::line(16), 256);
+//! for _ in 0..3 {
+//!     let outcome = session.run(&auto, &inputs).unwrap();
+//!     assert_outputs_close(&outcome, &expected, 1e-4);
+//! }
+//! assert_eq!(session.stats().plan_misses, 2); // two distinct requests
+//! assert_eq!(session.stats().plan_hits, 2);   // two repeat runs
+//! ```
+//!
 //! ## What is implemented
 //!
 //! * **1D Broadcast** — the flooding broadcast of §4.2, which multicast makes
@@ -18,42 +63,29 @@
 //!   ([`allreduce`]).
 //! * **2D collectives** — the 2D flooding broadcast (§7.1), X-Y Reduce
 //!   (§7.2), Snake Reduce (§7.3) and 2D AllReduce (§7.4).
-//! * **Model-driven selection** — picking the best algorithm for a given
-//!   `(P, B)` from the performance model and generating its plan
-//!   ([`select`]).
+//! * **Model-driven selection** — [`Schedule::Auto`] resolves through the
+//!   performance model's structured [`wse_model::Choice`]; the legacy
+//!   free-function interface survives in [`select`] as thin shims.
 //! * **Measurement methodology** — the clock-synchronised, calibrated timing
 //!   procedure of §8.3, run against simulated clock skew and thermal noise
 //!   ([`measured`]).
 //!
-//! ## Quickstart
-//!
-//! ```
-//! use wse_collectives::prelude::*;
-//!
-//! // Reduce 1 KiB vectors (256 f32 values) across a row of 16 PEs with the
-//! // Two-Phase schedule.
-//! let machine = Machine::wse2();
-//! let plan = reduce_1d_plan(ReducePattern::TwoPhase, 16, 256, ReduceOp::Sum, &machine);
-//!
-//! let inputs: Vec<Vec<f32>> = (0..16).map(|i| vec![i as f32; 256]).collect();
-//! let outcome = run_plan(&plan, &inputs, &RunConfig::default()).unwrap();
-//!
-//! let expected = expected_reduce(&inputs, ReduceOp::Sum);
-//! assert_outputs_close(&outcome, &expected, 1e-4);
-//! println!("runtime: {} cycles", outcome.runtime_cycles());
-//! ```
+//! All failures are reported as the typed [`CollectiveError`].
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod allreduce;
 pub mod broadcast;
+pub mod error;
 pub mod measured;
 pub mod path;
 pub mod plan;
 pub mod reduce;
+pub mod request;
 pub mod runner;
 pub mod select;
+pub mod session;
 pub mod tree_plan;
 
 pub use allreduce::{
@@ -61,30 +93,36 @@ pub use allreduce::{
     AllReducePattern,
 };
 pub use broadcast::{flood_broadcast_2d_plan, flood_broadcast_plan};
+pub use error::CollectiveError;
 pub use measured::{measured_run, MeasureConfig, MeasuredRun};
 pub use path::LinePath;
 pub use plan::CollectivePlan;
 pub use reduce::{reduce_1d_plan, reduce_2d_plan, Reduce2dPattern, ReducePattern};
+pub use request::{CollectiveKind, CollectiveRequest, ResolvedPlan, Schedule, Topology};
 pub use runner::{
     assert_outputs_close, expected_reduce, max_relative_error, run_plan, RunConfig, RunOutcome,
 };
 pub use select::{
     select_allreduce_1d, select_allreduce_2d, select_reduce_1d, select_reduce_2d, SelectedPlan,
 };
+pub use session::{Session, SessionConfig, SessionStats};
 
 /// Convenience re-exports for applications.
 pub mod prelude {
     pub use crate::allreduce::{allreduce_1d_plan, allreduce_2d_plan, AllReducePattern};
     pub use crate::broadcast::{flood_broadcast_2d_plan, flood_broadcast_plan};
+    pub use crate::error::CollectiveError;
     pub use crate::path::LinePath;
     pub use crate::plan::CollectivePlan;
     pub use crate::reduce::{reduce_1d_plan, reduce_2d_plan, Reduce2dPattern, ReducePattern};
+    pub use crate::request::{CollectiveKind, CollectiveRequest, ResolvedPlan, Schedule, Topology};
     pub use crate::runner::{
         assert_outputs_close, expected_reduce, run_plan, RunConfig, RunOutcome,
     };
     pub use crate::select::{
         select_allreduce_1d, select_allreduce_2d, select_reduce_1d, select_reduce_2d,
     };
+    pub use crate::session::{Session, SessionConfig, SessionStats};
     pub use wse_fabric::geometry::{Coord, GridDim};
     pub use wse_fabric::program::ReduceOp;
     pub use wse_model::Machine;

@@ -9,11 +9,11 @@
 //! busy-wait, executed with clock skew and (optionally) thermal noise, and
 //! the §8.3 correction is applied to the skewed readings.
 
-use wse_fabric::engine::FabricError;
 use wse_fabric::measure::{self, Calibration, Timestamps};
 use wse_fabric::program::PeProgram;
 use wse_fabric::{ClockModel, Fabric};
 
+use crate::error::CollectiveError;
 use crate::plan::CollectivePlan;
 use crate::runner::RunConfig;
 
@@ -69,15 +69,12 @@ pub fn measured_run(
     plan: &CollectivePlan,
     inputs: &[Vec<f32>],
     config: &MeasureConfig,
-) -> Result<MeasuredRun, FabricError> {
+) -> Result<MeasuredRun, CollectiveError> {
     assert_eq!(config.clock.num_pes(), plan.dim().num_pes());
     let dim = plan.dim();
     let mut first_error = None;
-    let calibration = measure::calibrate(
-        dim,
-        config.start_spread_threshold,
-        config.max_iterations,
-        |alpha| {
+    let calibration =
+        measure::calibrate(dim, config.start_spread_threshold, config.max_iterations, |alpha| {
             match run_staggered(plan, inputs, config, alpha) {
                 Ok(ts) => ts,
                 Err(e) => {
@@ -90,8 +87,7 @@ pub fn measured_run(
                     Timestamps { reference: vec![0; n], start: vec![0; n], end: vec![0; n] }
                 }
             }
-        },
-    );
+        });
     if let Some(e) = first_error {
         return Err(e);
     }
@@ -103,7 +99,7 @@ fn run_staggered(
     inputs: &[Vec<f32>],
     config: &MeasureConfig,
     alpha: f64,
-) -> Result<Timestamps, FabricError> {
+) -> Result<Timestamps, CollectiveError> {
     let dim = plan.dim();
     let mut fabric = Fabric::new(dim, config.run.params);
     fabric.set_noise(config.run.noise.clone());
@@ -132,11 +128,8 @@ fn run_staggered(
     let mut end = Vec::with_capacity(dim.num_pes());
     for (idx, c) in dim.iter().enumerate() {
         reference.push(measure::reference_delay(c));
-        let prefix_end = fabric
-            .instruction_finish(c)
-            .first()
-            .copied()
-            .unwrap_or(report.pe_finish[idx]);
+        let prefix_end =
+            fabric.instruction_finish(c).first().copied().unwrap_or(report.pe_finish[idx]);
         start.push(prefix_end);
         end.push(report.pe_finish[idx]);
     }
@@ -171,10 +164,7 @@ mod tests {
         // The calibrated measurement sees the same collective; the staggered
         // start adds at most a small spread.
         let diff = (duration as i64 - plain as i64).abs() as f64;
-        assert!(
-            diff <= plain as f64 * 0.15 + 32.0,
-            "measured {duration} vs plain {plain}"
-        );
+        assert!(diff <= plain as f64 * 0.15 + 32.0, "measured {duration} vs plain {plain}");
         assert!(measured.calibration.measurement.start_spread <= 57);
     }
 
@@ -195,6 +185,9 @@ mod tests {
         // stay in the right ballpark and must not under-report.
         let duration = measured.duration();
         assert!(duration as f64 >= plain as f64 * 0.9);
-        assert!(duration as f64 <= plain as f64 * 1.5 + 64.0, "duration {duration} vs plain {plain}");
+        assert!(
+            duration as f64 <= plain as f64 * 1.5 + 64.0,
+            "duration {duration} vs plain {plain}"
+        );
     }
 }

@@ -9,6 +9,8 @@
 
 use wse_fabric::geometry::{Coord, Direction, GridDim};
 
+use crate::error::CollectiveError;
+
 /// An ordered, mesh-adjacent list of PE coordinates; position 0 is the root.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LinePath {
@@ -19,25 +21,29 @@ pub struct LinePath {
 impl LinePath {
     /// Build a path from explicit coordinates, validating adjacency and
     /// uniqueness.
-    pub fn new(dim: GridDim, coords: Vec<Coord>) -> Result<Self, String> {
+    pub fn new(dim: GridDim, coords: Vec<Coord>) -> Result<Self, CollectiveError> {
         if coords.is_empty() {
-            return Err("a path must contain at least one PE".into());
+            return Err(CollectiveError::EmptyPath);
         }
         for c in &coords {
             if !dim.contains(*c) {
-                return Err(format!("coordinate {c} lies outside the {}x{} grid", dim.width, dim.height));
+                return Err(CollectiveError::PathOutsideGrid {
+                    coord: *c,
+                    width: dim.width,
+                    height: dim.height,
+                });
             }
         }
         for w in coords.windows(2) {
             if dim.manhattan(w[0], w[1]) != 1 {
-                return Err(format!("path positions {} and {} are not adjacent", w[0], w[1]));
+                return Err(CollectiveError::PathNotAdjacent { a: w[0], b: w[1] });
             }
         }
         let mut seen = vec![false; dim.num_pes()];
         for c in &coords {
             let idx = dim.index(*c);
             if seen[idx] {
-                return Err(format!("coordinate {c} appears twice in the path"));
+                return Err(CollectiveError::PathDuplicate { coord: *c });
             }
             seen[idx] = true;
         }
@@ -188,20 +194,24 @@ mod tests {
     }
 
     #[test]
-    fn invalid_paths_are_rejected() {
+    fn invalid_paths_are_rejected_with_typed_errors() {
+        use crate::error::CollectiveError;
+
         let dim = GridDim::new(4, 4);
-        // Not adjacent.
-        assert!(LinePath::new(dim, vec![Coord::new(0, 0), Coord::new(2, 0)]).is_err());
-        // Outside the grid.
-        assert!(LinePath::new(dim, vec![Coord::new(5, 0)]).is_err());
-        // Duplicate.
-        assert!(LinePath::new(
-            dim,
-            vec![Coord::new(0, 0), Coord::new(1, 0), Coord::new(0, 0)]
-        )
-        .is_err());
-        // Empty.
-        assert!(LinePath::new(dim, vec![]).is_err());
+        assert_eq!(
+            LinePath::new(dim, vec![Coord::new(0, 0), Coord::new(2, 0)]).unwrap_err(),
+            CollectiveError::PathNotAdjacent { a: Coord::new(0, 0), b: Coord::new(2, 0) }
+        );
+        assert_eq!(
+            LinePath::new(dim, vec![Coord::new(5, 0)]).unwrap_err(),
+            CollectiveError::PathOutsideGrid { coord: Coord::new(5, 0), width: 4, height: 4 }
+        );
+        assert_eq!(
+            LinePath::new(dim, vec![Coord::new(0, 0), Coord::new(1, 0), Coord::new(0, 0)])
+                .unwrap_err(),
+            CollectiveError::PathDuplicate { coord: Coord::new(0, 0) }
+        );
+        assert_eq!(LinePath::new(dim, vec![]).unwrap_err(), CollectiveError::EmptyPath);
     }
 
     #[test]

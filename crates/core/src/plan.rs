@@ -16,7 +16,11 @@ use wse_fabric::wavelet::Color;
 use wse_fabric::Fabric;
 
 /// A fully generated collective schedule, ready to be applied to a fabric.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares the full generated artefact — programs, routing
+/// scripts, data/result PEs — which is what the plan-cache tests use to
+/// check that a cache hit is byte-identical to a cold build.
+#[derive(Debug, Clone, PartialEq)]
 pub struct CollectivePlan {
     name: String,
     dim: GridDim,
@@ -254,8 +258,16 @@ mod tests {
         let c = Color::new(5);
         let mut plan = CollectivePlan::new("p", dim, Coord::new(0, 0), 1);
         let at = Coord::new(0, 0);
-        plan.push_rule(at, c, RouteRule::counted(Direction::East, DirectionSet::single(Direction::Ramp), 3));
-        plan.push_rule(at, c, RouteRule::forever(Direction::West, DirectionSet::single(Direction::Ramp)));
+        plan.push_rule(
+            at,
+            c,
+            RouteRule::counted(Direction::East, DirectionSet::single(Direction::Ramp), 3),
+        );
+        plan.push_rule(
+            at,
+            c,
+            RouteRule::forever(Direction::West, DirectionSet::single(Direction::Ramp)),
+        );
         assert_eq!(plan.scripts(at).len(), 1);
         assert_eq!(plan.scripts(at)[0].1.len(), 2);
     }

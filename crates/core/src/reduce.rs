@@ -60,6 +60,17 @@ impl ReducePattern {
         }
     }
 
+    /// The plan-side pattern corresponding to a model-side algorithm label.
+    pub fn from_model(alg: wse_model::Reduce1dAlgorithm) -> Self {
+        match alg {
+            wse_model::Reduce1dAlgorithm::Star => ReducePattern::Star,
+            wse_model::Reduce1dAlgorithm::Chain => ReducePattern::Chain,
+            wse_model::Reduce1dAlgorithm::Tree => ReducePattern::Tree,
+            wse_model::Reduce1dAlgorithm::TwoPhase => ReducePattern::TwoPhase,
+            wse_model::Reduce1dAlgorithm::AutoGen => ReducePattern::AutoGen,
+        }
+    }
+
     /// The corresponding model-side algorithm label.
     pub fn model_algorithm(&self) -> wse_model::Reduce1dAlgorithm {
         match self {
@@ -144,6 +155,20 @@ impl Reduce2dPattern {
             Self::Snake => "Snake".to_string(),
         }
     }
+
+    /// The plan-side pattern corresponding to a model-side algorithm label.
+    pub fn from_model(alg: wse_model::Reduce2dAlgorithm) -> Self {
+        match alg {
+            wse_model::Reduce2dAlgorithm::XyStar => Reduce2dPattern::Xy(ReducePattern::Star),
+            wse_model::Reduce2dAlgorithm::XyChain => Reduce2dPattern::Xy(ReducePattern::Chain),
+            wse_model::Reduce2dAlgorithm::XyTree => Reduce2dPattern::Xy(ReducePattern::Tree),
+            wse_model::Reduce2dAlgorithm::XyTwoPhase => {
+                Reduce2dPattern::Xy(ReducePattern::TwoPhase)
+            }
+            wse_model::Reduce2dAlgorithm::XyAutoGen => Reduce2dPattern::Xy(ReducePattern::AutoGen),
+            wse_model::Reduce2dAlgorithm::Snake => Reduce2dPattern::Snake,
+        }
+    }
 }
 
 /// Build a 2D Reduce plan over an `height × width` grid, rooted at `(0, 0)`.
@@ -178,7 +203,15 @@ pub fn reduce_2d_plan(
                 let row_tree = p1d.tree(dim.width as usize, vector_len, machine);
                 for y in 0..dim.height {
                     let path = LinePath::row(dim, y);
-                    append_tree_reduce(&mut plan, &path, &row_tree, vector_len, op, x_colors(), false);
+                    append_tree_reduce(
+                        &mut plan,
+                        &path,
+                        &row_tree,
+                        vector_len,
+                        op,
+                        x_colors(),
+                        false,
+                    );
                 }
             }
             // Y phase: reduce the first column towards the root.
@@ -206,9 +239,7 @@ mod tests {
     }
 
     fn inputs(p: usize, b: usize) -> Vec<Vec<f32>> {
-        (0..p)
-            .map(|i| (0..b).map(|j| (i + 1) as f32 * 0.25 + j as f32 * 0.125).collect())
-            .collect()
+        (0..p).map(|i| (0..b).map(|j| (i + 1) as f32 * 0.25 + j as f32 * 0.125).collect()).collect()
     }
 
     #[test]
@@ -338,24 +369,14 @@ mod tests {
         let b = 5;
         let data = inputs(6, b as usize);
         let expected = expected_reduce(&data, ReduceOp::Sum);
-        let plan = reduce_2d_plan(
-            Reduce2dPattern::Xy(ReducePattern::Chain),
-            dim,
-            b,
-            ReduceOp::Sum,
-            &m,
-        );
+        let plan =
+            reduce_2d_plan(Reduce2dPattern::Xy(ReducePattern::Chain), dim, b, ReduceOp::Sum, &m);
         let outcome = run_plan(&plan, &data, &RunConfig::default()).unwrap();
         assert_outputs_close(&outcome, &expected, 1e-4);
         // A single column.
         let dim = GridDim::new(1, 6);
-        let plan = reduce_2d_plan(
-            Reduce2dPattern::Xy(ReducePattern::TwoPhase),
-            dim,
-            b,
-            ReduceOp::Sum,
-            &m,
-        );
+        let plan =
+            reduce_2d_plan(Reduce2dPattern::Xy(ReducePattern::TwoPhase), dim, b, ReduceOp::Sum, &m);
         let outcome = run_plan(&plan, &data, &RunConfig::default()).unwrap();
         assert_outputs_close(&outcome, &expected, 1e-4);
     }

@@ -1,0 +1,489 @@
+//! The unified collective request API.
+//!
+//! The paper's workflow (§1.3, §10) is *model → select → generate → run*. A
+//! [`CollectiveRequest`] is the value form of the first half of that
+//! pipeline: one plain-data description of any collective this crate can
+//! build — Reduce / AllReduce / Broadcast, on a 1D line or a 2D grid, with a
+//! [`Schedule`] that is either an explicit pattern or [`Schedule::Auto`]
+//! model-driven selection. Requests are cheap to copy, hashable and
+//! comparable, which is what lets [`crate::session::Session`] key its plan
+//! cache on them directly.
+
+use wse_fabric::geometry::{Coord, GridDim};
+use wse_fabric::program::ReduceOp;
+use wse_fabric::wavelet::Color;
+use wse_model::selection::{self, ChosenAlgorithm};
+use wse_model::Machine;
+
+use crate::allreduce::{
+    allreduce_1d_plan, allreduce_2d_plan, xy_allreduce_2d_plan, AllReducePattern,
+};
+use crate::broadcast::{flood_broadcast_2d_plan, flood_broadcast_plan};
+use crate::error::CollectiveError;
+use crate::path::LinePath;
+use crate::plan::CollectivePlan;
+use crate::reduce::{
+    reduce_1d_plan, reduce_2d_plan, Reduce2dPattern, ReducePattern, BROADCAST_COLOR,
+};
+
+/// Which collective a request describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CollectiveKind {
+    /// Reduce to the root PE.
+    Reduce,
+    /// Reduce whose result ends up on every participating PE.
+    AllReduce,
+    /// Flooding broadcast of the root's vector (§4.2, §7.1).
+    Broadcast,
+}
+
+/// The set of PEs a collective runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Topology {
+    /// A row of `p` PEs (the 1D setting of §4–§6).
+    Line(u32),
+    /// A full 2D grid (§7).
+    Grid(GridDim),
+}
+
+impl Topology {
+    /// A row of `p` PEs.
+    pub fn line(p: u32) -> Self {
+        Topology::Line(p)
+    }
+
+    /// A `width × height` grid.
+    pub fn grid(width: u32, height: u32) -> Self {
+        Topology::Grid(GridDim::new(width, height))
+    }
+
+    /// The grid the topology occupies.
+    pub fn dim(&self) -> GridDim {
+        match self {
+            Topology::Line(p) => GridDim::row(*p),
+            Topology::Grid(dim) => *dim,
+        }
+    }
+
+    /// Number of participating PEs.
+    pub fn num_pes(&self) -> usize {
+        self.dim().num_pes()
+    }
+}
+
+/// How the plan for a request is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Schedule {
+    /// Let the performance model pick the best fixed algorithm for the
+    /// request's shape (the paper's §1.3/§10 workflow; the regions of
+    /// Figures 8, 10 and 13).
+    Auto,
+    /// An explicit 1D Reduce pattern (valid for `Reduce` on a line).
+    Reduce1d(ReducePattern),
+    /// An explicit 2D Reduce pattern (valid for `Reduce` on a grid).
+    Reduce2d(Reduce2dPattern),
+    /// An explicit 1D AllReduce pattern (valid for `AllReduce` on a line).
+    AllReduce1d(AllReducePattern),
+    /// An explicit 2D AllReduce: the given 2D Reduce followed by the 2D
+    /// flooding Broadcast (§7.4; valid for `AllReduce` on a grid).
+    AllReduce2d(Reduce2dPattern),
+    /// The bandwidth-inefficient per-axis X-Y AllReduce of §7.4, provided so
+    /// the paper's comparison can be reproduced (valid for `AllReduce` on a
+    /// grid).
+    AllReduceXy(ReducePattern),
+}
+
+/// A fully specified collective request: the cache key and the input to plan
+/// generation.
+///
+/// Build one with [`CollectiveRequest::reduce`],
+/// [`CollectiveRequest::allreduce`] or [`CollectiveRequest::broadcast`] and
+/// refine it with the `with_*` builders:
+///
+/// ```
+/// use wse_collectives::prelude::*;
+///
+/// let request = CollectiveRequest::reduce(Topology::line(16), 256)
+///     .with_op(ReduceOp::Max)
+///     .with_schedule(Schedule::Reduce1d(ReducePattern::TwoPhase));
+/// assert_eq!(request.vector_len, 256);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CollectiveRequest {
+    /// The collective to perform.
+    pub kind: CollectiveKind,
+    /// Where it runs.
+    pub topology: Topology,
+    /// Vector length in 32-bit wavelets per participating PE.
+    pub vector_len: u32,
+    /// The element-wise reduction operation (ignored by `Broadcast`).
+    pub op: ReduceOp,
+    /// Explicit pattern or model-driven selection.
+    pub schedule: Schedule,
+    /// The root PE. All plans of this reproduction root at the north-west
+    /// corner `(0, 0)`, matching the paper's layouts.
+    pub root: Coord,
+}
+
+impl CollectiveRequest {
+    fn new(kind: CollectiveKind, topology: Topology, vector_len: u32) -> Self {
+        CollectiveRequest {
+            kind,
+            topology,
+            vector_len,
+            op: ReduceOp::Sum,
+            schedule: Schedule::Auto,
+            root: Coord::new(0, 0),
+        }
+    }
+
+    /// A Reduce request (sum, model-selected schedule by default).
+    pub fn reduce(topology: Topology, vector_len: u32) -> Self {
+        Self::new(CollectiveKind::Reduce, topology, vector_len)
+    }
+
+    /// An AllReduce request (sum, model-selected schedule by default).
+    pub fn allreduce(topology: Topology, vector_len: u32) -> Self {
+        Self::new(CollectiveKind::AllReduce, topology, vector_len)
+    }
+
+    /// A Broadcast request.
+    pub fn broadcast(topology: Topology, vector_len: u32) -> Self {
+        Self::new(CollectiveKind::Broadcast, topology, vector_len)
+    }
+
+    /// Use the given reduction operation.
+    pub fn with_op(mut self, op: ReduceOp) -> Self {
+        self.op = op;
+        self
+    }
+
+    /// Use the given schedule instead of model-driven selection.
+    pub fn with_schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Use the given root PE. Only the canonical `(0, 0)` root is currently
+    /// supported; any other value is rejected at resolution time.
+    pub fn with_root(mut self, root: Coord) -> Self {
+        self.root = root;
+        self
+    }
+
+    /// Check the request's parameters without building a plan.
+    pub fn validate(&self) -> Result<(), CollectiveError> {
+        if self.vector_len == 0 {
+            return Err(CollectiveError::InvalidRequest {
+                reason: "collectives operate on at least one wavelet".into(),
+            });
+        }
+        match self.topology {
+            Topology::Line(0) => {
+                return Err(CollectiveError::InvalidRequest {
+                    reason: "a line topology needs at least one PE".into(),
+                })
+            }
+            Topology::Grid(dim) if dim.num_pes() == 0 => {
+                return Err(CollectiveError::InvalidRequest {
+                    reason: "a grid topology needs at least one PE".into(),
+                })
+            }
+            _ => {}
+        }
+        if self.root != Coord::new(0, 0) {
+            return Err(CollectiveError::InvalidRequest {
+                reason: format!("only the canonical root (0, 0) is supported, got {}", self.root),
+            });
+        }
+        if self.kind == CollectiveKind::AllReduce {
+            if let (Topology::Line(p), Schedule::AllReduce1d(AllReducePattern::Ring)) =
+                (self.topology, self.schedule)
+            {
+                if p >= 2 && !self.vector_len.is_multiple_of(p) {
+                    return Err(CollectiveError::InvalidRequest {
+                        reason: format!(
+                            "the ring all-reduce requires the vector length ({}) to be \
+                             divisible by the PE count ({p})",
+                            self.vector_len
+                        ),
+                    });
+                }
+                if p < 2 {
+                    return Err(CollectiveError::InvalidRequest {
+                        reason: "the ring needs at least two PEs".into(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolve the request into an executable plan (uncached).
+    ///
+    /// [`Schedule::Auto`] requests consult the performance model
+    /// ([`wse_model::selection`]) and record the model's structured
+    /// [`wse_model::Choice`]; explicit schedules go straight to the plan
+    /// builders. Sessions call this through their plan cache — prefer
+    /// [`crate::session::Session::plan`] when resolving repeatedly.
+    pub fn resolve(&self, machine: &Machine) -> Result<ResolvedPlan, CollectiveError> {
+        self.validate()?;
+        let mismatch = || CollectiveError::ScheduleMismatch {
+            kind: self.kind,
+            topology: self.topology,
+            schedule: self.schedule,
+        };
+        let b = self.vector_len;
+        match (self.kind, self.topology) {
+            (CollectiveKind::Reduce, Topology::Line(p)) => match self.schedule {
+                Schedule::Auto => {
+                    let choice = selection::choose_reduce_1d(p as u64, b as u64, machine);
+                    let ChosenAlgorithm::Reduce1d(alg) = choice.algorithm else {
+                        unreachable!("choose_reduce_1d returns a 1D Reduce algorithm");
+                    };
+                    let pattern = ReducePattern::from_model(alg);
+                    Ok(ResolvedPlan::auto(reduce_1d_plan(pattern, p, b, self.op, machine), choice))
+                }
+                Schedule::Reduce1d(pattern) => Ok(ResolvedPlan::explicit(
+                    reduce_1d_plan(pattern, p, b, self.op, machine),
+                    pattern.name(),
+                )),
+                _ => Err(mismatch()),
+            },
+            (CollectiveKind::Reduce, Topology::Grid(dim)) => match self.schedule {
+                Schedule::Auto => {
+                    let choice = selection::choose_reduce_2d(
+                        dim.height as u64,
+                        dim.width as u64,
+                        b as u64,
+                        machine,
+                    );
+                    let ChosenAlgorithm::Reduce2d(alg) = choice.algorithm else {
+                        unreachable!("choose_reduce_2d returns a 2D Reduce algorithm");
+                    };
+                    let pattern = Reduce2dPattern::from_model(alg);
+                    Ok(ResolvedPlan::auto(
+                        reduce_2d_plan(pattern, dim, b, self.op, machine),
+                        choice,
+                    ))
+                }
+                Schedule::Reduce2d(pattern) => Ok(ResolvedPlan::explicit(
+                    reduce_2d_plan(pattern, dim, b, self.op, machine),
+                    pattern.name(),
+                )),
+                _ => Err(mismatch()),
+            },
+            (CollectiveKind::AllReduce, Topology::Line(p)) => match self.schedule {
+                Schedule::Auto => {
+                    let choice = selection::choose_allreduce_1d(p as u64, b as u64, machine);
+                    let ChosenAlgorithm::AllReduce1d(alg) = choice.algorithm else {
+                        unreachable!("choose_allreduce_1d returns a 1D AllReduce algorithm");
+                    };
+                    let pattern = AllReducePattern::from_model(alg);
+                    // The ring requires the vector to split evenly over the
+                    // PEs; fall back to the best reduce-then-broadcast plan
+                    // otherwise (the model still reports its original choice).
+                    let pattern = match pattern {
+                        AllReducePattern::Ring if p < 2 || !b.is_multiple_of(p) => {
+                            AllReducePattern::ReduceBroadcast(ReducePattern::AutoGen)
+                        }
+                        other => other,
+                    };
+                    Ok(ResolvedPlan::auto(
+                        allreduce_1d_plan(pattern, p, b, self.op, machine),
+                        choice,
+                    ))
+                }
+                Schedule::AllReduce1d(pattern) => Ok(ResolvedPlan::explicit(
+                    allreduce_1d_plan(pattern, p, b, self.op, machine),
+                    pattern.name(),
+                )),
+                _ => Err(mismatch()),
+            },
+            (CollectiveKind::AllReduce, Topology::Grid(dim)) => match self.schedule {
+                Schedule::Auto => {
+                    let choice = selection::choose_allreduce_2d(
+                        dim.height as u64,
+                        dim.width as u64,
+                        b as u64,
+                        machine,
+                    );
+                    let ChosenAlgorithm::AllReduce2d(alg) = choice.algorithm else {
+                        unreachable!("choose_allreduce_2d returns a 2D algorithm");
+                    };
+                    let pattern = Reduce2dPattern::from_model(alg);
+                    Ok(ResolvedPlan::auto(
+                        allreduce_2d_plan(pattern, dim, b, self.op, machine),
+                        choice,
+                    ))
+                }
+                Schedule::AllReduce2d(pattern) => Ok(ResolvedPlan::explicit(
+                    allreduce_2d_plan(pattern, dim, b, self.op, machine),
+                    pattern.name(),
+                )),
+                Schedule::AllReduceXy(pattern) => Ok(ResolvedPlan::explicit(
+                    xy_allreduce_2d_plan(pattern, dim, b, self.op, machine),
+                    format!("X-Y AllReduce {}", pattern.name()),
+                )),
+                _ => Err(mismatch()),
+            },
+            (CollectiveKind::Broadcast, Topology::Line(p)) => match self.schedule {
+                Schedule::Auto => {
+                    let path = LinePath::row(GridDim::row(p), 0);
+                    Ok(ResolvedPlan::explicit(
+                        flood_broadcast_plan(&path, b, Color::new(BROADCAST_COLOR)),
+                        "Flood",
+                    ))
+                }
+                _ => Err(mismatch()),
+            },
+            (CollectiveKind::Broadcast, Topology::Grid(dim)) => match self.schedule {
+                Schedule::Auto => Ok(ResolvedPlan::explicit(
+                    flood_broadcast_2d_plan(dim, b, Color::new(BROADCAST_COLOR)),
+                    "2D Flood",
+                )),
+                _ => Err(mismatch()),
+            },
+        }
+    }
+}
+
+/// The output of resolving a request: the executable plan plus how it was
+/// chosen.
+#[derive(Debug, Clone)]
+pub struct ResolvedPlan {
+    /// The executable plan.
+    pub plan: CollectivePlan,
+    /// Name of the algorithm realised by the plan (for explicit schedules)
+    /// or chosen by the model (for `Auto`).
+    pub algorithm: String,
+    /// The model's structured choice, present for `Auto` schedules.
+    pub choice: Option<wse_model::Choice>,
+}
+
+impl ResolvedPlan {
+    fn explicit(plan: CollectivePlan, algorithm: impl Into<String>) -> Self {
+        ResolvedPlan { plan, algorithm: algorithm.into(), choice: None }
+    }
+
+    fn auto(plan: CollectivePlan, choice: wse_model::Choice) -> Self {
+        ResolvedPlan { plan, algorithm: choice.algorithm.name().to_string(), choice: Some(choice) }
+    }
+
+    /// The model's predicted runtime in cycles, when the schedule was `Auto`.
+    pub fn predicted_cycles(&self) -> Option<f64> {
+        self.choice.map(|c| c.predicted_cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{assert_outputs_close, expected_reduce, run_plan, RunConfig};
+
+    fn machine() -> Machine {
+        Machine::wse2()
+    }
+
+    fn inputs(p: usize, b: usize) -> Vec<Vec<f32>> {
+        (0..p).map(|i| (0..b).map(|j| (i + 2 * j) as f32 * 0.125 - 1.0).collect()).collect()
+    }
+
+    #[test]
+    fn requests_are_cache_key_material() {
+        use std::collections::HashSet;
+        let a = CollectiveRequest::reduce(Topology::line(16), 64);
+        let b = a.with_op(ReduceOp::Max);
+        let c = CollectiveRequest::reduce(Topology::grid(4, 4), 64);
+        let mut set = HashSet::new();
+        set.insert(a);
+        set.insert(b);
+        set.insert(c);
+        set.insert(a); // duplicate
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn every_kind_and_topology_resolves_and_runs() {
+        let m = machine();
+        let cases = [
+            CollectiveRequest::reduce(Topology::line(12), 16),
+            CollectiveRequest::reduce(Topology::grid(4, 3), 8),
+            CollectiveRequest::allreduce(Topology::line(8), 24),
+            CollectiveRequest::allreduce(Topology::grid(3, 3), 8),
+        ];
+        for request in cases {
+            let resolved = request.resolve(&m).expect("auto requests resolve");
+            assert!(resolved.choice.is_some(), "{request:?} should carry a model choice");
+            let data = inputs(request.topology.num_pes(), request.vector_len as usize);
+            let outcome = run_plan(&resolved.plan, &data, &RunConfig::default()).unwrap();
+            assert_outputs_close(&outcome, &expected_reduce(&data, request.op), 1e-4);
+        }
+    }
+
+    #[test]
+    fn broadcast_requests_resolve_for_both_topologies() {
+        let m = machine();
+        for request in [
+            CollectiveRequest::broadcast(Topology::line(9), 12),
+            CollectiveRequest::broadcast(Topology::grid(4, 5), 7),
+        ] {
+            let resolved = request.resolve(&m).unwrap();
+            let data = inputs(1, request.vector_len as usize);
+            let outcome = run_plan(&resolved.plan, &data, &RunConfig::default()).unwrap();
+            assert_eq!(outcome.outputs.len(), request.topology.num_pes());
+            for (_, out) in &outcome.outputs {
+                assert_eq!(out, &data[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_schedules_build_the_named_pattern() {
+        let m = machine();
+        let request = CollectiveRequest::reduce(Topology::line(16), 64)
+            .with_schedule(Schedule::Reduce1d(ReducePattern::TwoPhase));
+        let resolved = request.resolve(&m).unwrap();
+        assert_eq!(resolved.algorithm, "Two-Phase");
+        assert!(resolved.choice.is_none());
+        assert!(resolved.plan.name().contains("Two-Phase"));
+    }
+
+    #[test]
+    fn mismatched_schedules_are_rejected() {
+        let m = machine();
+        let request = CollectiveRequest::reduce(Topology::line(8), 16)
+            .with_schedule(Schedule::Reduce2d(Reduce2dPattern::Snake));
+        assert!(matches!(request.resolve(&m), Err(CollectiveError::ScheduleMismatch { .. })));
+        let request = CollectiveRequest::broadcast(Topology::line(8), 16)
+            .with_schedule(Schedule::Reduce1d(ReducePattern::Star));
+        assert!(matches!(request.resolve(&m), Err(CollectiveError::ScheduleMismatch { .. })));
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        let m = machine();
+        let zero_b = CollectiveRequest::reduce(Topology::line(8), 0);
+        assert!(matches!(zero_b.resolve(&m), Err(CollectiveError::InvalidRequest { .. })));
+        let bad_root = CollectiveRequest::reduce(Topology::line(8), 4).with_root(Coord::new(1, 0));
+        assert!(matches!(bad_root.resolve(&m), Err(CollectiveError::InvalidRequest { .. })));
+        let indivisible_ring = CollectiveRequest::allreduce(Topology::line(4), 13)
+            .with_schedule(Schedule::AllReduce1d(AllReducePattern::Ring));
+        assert!(matches!(
+            indivisible_ring.resolve(&m),
+            Err(CollectiveError::InvalidRequest { .. })
+        ));
+    }
+
+    #[test]
+    fn auto_ring_choice_falls_back_when_indivisible() {
+        let m = machine();
+        // b = 4098 is not divisible by p = 4; the model may pick the ring but
+        // the resolved plan must still be runnable.
+        let request = CollectiveRequest::allreduce(Topology::line(4), 4098);
+        let resolved = request.resolve(&m).unwrap();
+        let data = inputs(4, 4098);
+        let outcome = run_plan(&resolved.plan, &data, &RunConfig::default()).unwrap();
+        assert_outputs_close(&outcome, &expected_reduce(&data, ReduceOp::Sum), 1e-3);
+    }
+}

@@ -1,10 +1,11 @@
 //! Executing plans on the fabric simulator and checking their results.
 
-use wse_fabric::engine::{FabricError, RunReport};
+use wse_fabric::engine::RunReport;
 use wse_fabric::geometry::Coord;
 use wse_fabric::program::ReduceOp;
 use wse_fabric::{Fabric, FabricParams, NoiseModel};
 
+use crate::error::CollectiveError;
 use crate::plan::CollectivePlan;
 
 /// Configuration of a simulated run.
@@ -44,27 +45,59 @@ impl RunOutcome {
 ///
 /// `inputs` provides one vector per entry of [`CollectivePlan::data_pes`],
 /// in the same order; each vector must have exactly
-/// [`CollectivePlan::vector_len`] elements.
+/// [`CollectivePlan::vector_len`] elements. Sessions
+/// ([`crate::session::Session::run`]) execute the same way but reuse one
+/// resettable fabric per grid instead of allocating a new mesh per call.
 pub fn run_plan(
     plan: &CollectivePlan,
     inputs: &[Vec<f32>],
     config: &RunConfig,
-) -> Result<RunOutcome, FabricError> {
-    assert_eq!(
-        inputs.len(),
-        plan.data_pes().len(),
-        "one input vector per data PE is required"
-    );
-    for input in inputs {
-        assert_eq!(
-            input.len(),
-            plan.vector_len() as usize,
-            "input vectors must have the plan's vector length"
-        );
-    }
+) -> Result<RunOutcome, CollectiveError> {
+    // Validate before allocating the mesh: a wrong-shaped input must not
+    // pay for (and immediately drop) a full fabric.
+    check_inputs(plan, inputs)?;
     let mut fabric = Fabric::new(plan.dim(), config.params);
     fabric.set_noise(config.noise.clone());
-    plan.apply(&mut fabric);
+    execute_on(&mut fabric, plan, inputs)
+}
+
+/// Check that `inputs` matches a plan's data PEs and vector length.
+pub(crate) fn check_inputs(
+    plan: &CollectivePlan,
+    inputs: &[Vec<f32>],
+) -> Result<(), CollectiveError> {
+    if inputs.len() != plan.data_pes().len() {
+        return Err(CollectiveError::InputCountMismatch {
+            expected: plan.data_pes().len(),
+            got: inputs.len(),
+        });
+    }
+    for (index, input) in inputs.iter().enumerate() {
+        if input.len() != plan.vector_len() as usize {
+            return Err(CollectiveError::InputLengthMismatch {
+                index,
+                expected: plan.vector_len(),
+                got: input.len(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Install `plan` and `inputs` on an idle (fresh or reset) fabric of the
+/// plan's dimensions and run it to completion.
+///
+/// Callers must have validated `inputs` with [`check_inputs`] first; both
+/// entry points ([`run_plan`] and `Session::run_resolved`) do so before
+/// touching a fabric, which also keeps the hot session path to one
+/// validation pass per run.
+pub(crate) fn execute_on(
+    fabric: &mut Fabric,
+    plan: &CollectivePlan,
+    inputs: &[Vec<f32>],
+) -> Result<RunOutcome, CollectiveError> {
+    debug_assert!(check_inputs(plan, inputs).is_ok(), "execute_on called with unchecked inputs");
+    plan.apply(fabric);
     for (at, data) in plan.data_pes().iter().zip(inputs) {
         fabric.set_local(*at, data);
     }
@@ -96,11 +129,7 @@ pub fn expected_reduce(inputs: &[Vec<f32>], op: ReduceOp) -> Vec<f32> {
 /// (with a small absolute floor so exact zeros compare cleanly).
 pub fn max_relative_error(actual: &[f32], expected: &[f32]) -> f32 {
     assert_eq!(actual.len(), expected.len());
-    actual
-        .iter()
-        .zip(expected)
-        .map(|(a, e)| (a - e).abs() / e.abs().max(1e-6))
-        .fold(0.0, f32::max)
+    actual.iter().zip(expected).map(|(a, e)| (a - e).abs() / e.abs().max(1e-6)).fold(0.0, f32::max)
 }
 
 /// Assert that every output of an outcome matches the expected vector up to
@@ -132,5 +161,20 @@ mod tests {
     fn relative_error_handles_zero_references() {
         assert_eq!(max_relative_error(&[0.0], &[0.0]), 0.0);
         assert!(max_relative_error(&[1.0, 2.2], &[1.0, 2.0]) > 0.09);
+    }
+
+    #[test]
+    fn input_mismatches_are_typed_errors() {
+        use crate::broadcast::flood_broadcast_plan;
+        use crate::path::LinePath;
+        use wse_fabric::geometry::GridDim;
+        use wse_fabric::wavelet::Color;
+
+        let path = LinePath::row(GridDim::row(4), 0);
+        let plan = flood_broadcast_plan(&path, 8, Color::new(0));
+        let err = run_plan(&plan, &[], &RunConfig::default()).unwrap_err();
+        assert_eq!(err, CollectiveError::InputCountMismatch { expected: 1, got: 0 });
+        let err = run_plan(&plan, &[vec![0.0; 3]], &RunConfig::default()).unwrap_err();
+        assert_eq!(err, CollectiveError::InputLengthMismatch { index: 0, expected: 8, got: 3 });
     }
 }

@@ -3,29 +3,19 @@
 //! This is the workflow the paper advocates (§1.3, §10): instead of
 //! hand-tuning, evaluate the performance model for the concrete problem
 //! size, pick the best schedule, and generate its code. The functions here
-//! tie `wse-model`'s selection logic to the plan builders of this crate.
+//! are thin shims over the unified request API — each builds a
+//! [`CollectiveRequest`] with [`Schedule::Auto`](crate::request::Schedule)
+//! and resolves it — kept for source compatibility with the original
+//! free-function interface. New code should use
+//! [`crate::session::Session::plan`], which resolves the same requests
+//! through a plan cache.
 
 use wse_fabric::geometry::GridDim;
 use wse_fabric::program::ReduceOp;
-use wse_model::selection::{self, AllReduce1dAlgorithm, Reduce1dAlgorithm, Reduce2dAlgorithm};
 use wse_model::Machine;
 
-use crate::allreduce::{allreduce_1d_plan, allreduce_2d_plan, AllReducePattern};
 use crate::plan::CollectivePlan;
-use crate::reduce::{reduce_1d_plan, reduce_2d_plan, Reduce2dPattern, ReducePattern};
-
-impl ReducePattern {
-    /// The plan-side pattern corresponding to a model-side algorithm label.
-    pub fn from_model(alg: Reduce1dAlgorithm) -> Self {
-        match alg {
-            Reduce1dAlgorithm::Star => ReducePattern::Star,
-            Reduce1dAlgorithm::Chain => ReducePattern::Chain,
-            Reduce1dAlgorithm::Tree => ReducePattern::Tree,
-            Reduce1dAlgorithm::TwoPhase => ReducePattern::TwoPhase,
-            Reduce1dAlgorithm::AutoGen => ReducePattern::AutoGen,
-        }
-    }
-}
+use crate::request::{CollectiveRequest, Topology};
 
 /// A plan together with the model's reasoning for choosing it.
 #[derive(Debug, Clone)]
@@ -38,86 +28,41 @@ pub struct SelectedPlan {
     pub algorithm: String,
 }
 
+fn selected(request: CollectiveRequest, machine: &Machine) -> SelectedPlan {
+    let resolved = request
+        .resolve(machine)
+        .unwrap_or_else(|e| panic!("auto request {request:?} failed to resolve: {e}"));
+    SelectedPlan {
+        predicted_cycles: resolved.predicted_cycles().unwrap_or_default(),
+        algorithm: resolved.algorithm,
+        plan: resolved.plan,
+    }
+}
+
 /// Choose the best *fixed* 1D Reduce for `(p, b)` according to the model and
 /// build its plan. (The Auto-Gen schedule, which always matches or beats the
 /// fixed patterns under the model, is available via
 /// [`crate::reduce::ReducePattern::AutoGen`].)
 pub fn select_reduce_1d(p: u32, b: u32, op: ReduceOp, machine: &Machine) -> SelectedPlan {
-    let best = selection::best_fixed_reduce_1d(p as u64, b as u64, machine);
-    let pattern = ReducePattern::from_model(best.algorithm);
-    SelectedPlan {
-        plan: reduce_1d_plan(pattern, p, b, op, machine),
-        predicted_cycles: best.cycles,
-        algorithm: best.algorithm.name().to_string(),
-    }
+    selected(CollectiveRequest::reduce(Topology::line(p), b).with_op(op), machine)
 }
 
 /// Choose the best fixed 1D AllReduce for `(p, b)` and build its plan
 /// (the regions of Figure 8).
 pub fn select_allreduce_1d(p: u32, b: u32, op: ReduceOp, machine: &Machine) -> SelectedPlan {
-    let best = selection::best_fixed_allreduce_1d(p as u64, b as u64, machine);
-    let pattern = match best.algorithm {
-        AllReduce1dAlgorithm::StarBcast => AllReducePattern::ReduceBroadcast(ReducePattern::Star),
-        AllReduce1dAlgorithm::ChainBcast => AllReducePattern::ReduceBroadcast(ReducePattern::Chain),
-        AllReduce1dAlgorithm::TreeBcast => AllReducePattern::ReduceBroadcast(ReducePattern::Tree),
-        AllReduce1dAlgorithm::TwoPhaseBcast => {
-            AllReducePattern::ReduceBroadcast(ReducePattern::TwoPhase)
-        }
-        AllReduce1dAlgorithm::AutoGenBcast => {
-            AllReducePattern::ReduceBroadcast(ReducePattern::AutoGen)
-        }
-        AllReduce1dAlgorithm::Ring | AllReduce1dAlgorithm::Butterfly => AllReducePattern::Ring,
-    };
-    // The ring requires the vector to split evenly over the PEs; fall back to
-    // the best reduce-then-broadcast plan otherwise.
-    let pattern = match pattern {
-        AllReducePattern::Ring if !b.is_multiple_of(p) => {
-            AllReducePattern::ReduceBroadcast(ReducePattern::AutoGen)
-        }
-        other => other,
-    };
-    SelectedPlan {
-        plan: allreduce_1d_plan(pattern, p, b, op, machine),
-        predicted_cycles: best.cycles,
-        algorithm: best.algorithm.name().to_string(),
-    }
+    selected(CollectiveRequest::allreduce(Topology::line(p), b).with_op(op), machine)
 }
 
 /// Choose the best fixed 2D Reduce for an `dim` grid and build its plan
 /// (the regions of Figure 13).
 pub fn select_reduce_2d(dim: GridDim, b: u32, op: ReduceOp, machine: &Machine) -> SelectedPlan {
-    let best =
-        selection::best_fixed_reduce_2d(dim.height as u64, dim.width as u64, b as u64, machine);
-    let pattern = reduce_2d_pattern_from_model(best.algorithm);
-    SelectedPlan {
-        plan: reduce_2d_plan(pattern, dim, b, op, machine),
-        predicted_cycles: best.cycles,
-        algorithm: best.algorithm.name().to_string(),
-    }
+    selected(CollectiveRequest::reduce(Topology::Grid(dim), b).with_op(op), machine)
 }
 
 /// Choose the best fixed 2D AllReduce for an `dim` grid and build its plan
 /// (the regions of Figure 10).
 pub fn select_allreduce_2d(dim: GridDim, b: u32, op: ReduceOp, machine: &Machine) -> SelectedPlan {
-    let best =
-        selection::best_fixed_allreduce_2d(dim.height as u64, dim.width as u64, b as u64, machine);
-    let pattern = reduce_2d_pattern_from_model(best.algorithm);
-    SelectedPlan {
-        plan: allreduce_2d_plan(pattern, dim, b, op, machine),
-        predicted_cycles: best.cycles,
-        algorithm: best.algorithm.name().to_string(),
-    }
-}
-
-fn reduce_2d_pattern_from_model(alg: Reduce2dAlgorithm) -> Reduce2dPattern {
-    match alg {
-        Reduce2dAlgorithm::XyStar => Reduce2dPattern::Xy(ReducePattern::Star),
-        Reduce2dAlgorithm::XyChain => Reduce2dPattern::Xy(ReducePattern::Chain),
-        Reduce2dAlgorithm::XyTree => Reduce2dPattern::Xy(ReducePattern::Tree),
-        Reduce2dAlgorithm::XyTwoPhase => Reduce2dPattern::Xy(ReducePattern::TwoPhase),
-        Reduce2dAlgorithm::XyAutoGen => Reduce2dPattern::Xy(ReducePattern::AutoGen),
-        Reduce2dAlgorithm::Snake => Reduce2dPattern::Snake,
-    }
+    selected(CollectiveRequest::allreduce(Topology::Grid(dim), b).with_op(op), machine)
 }
 
 #[cfg(test)]

@@ -1,0 +1,428 @@
+//! Reusable execution sessions with an LRU plan cache.
+//!
+//! Serving heavy repeated collective traffic has two per-request costs the
+//! one-shot free functions pay every time: *plan generation* (model
+//! evaluation, Auto-Gen DP, routing-script construction) and *fabric
+//! construction* (allocating the whole simulated mesh). A [`Session`]
+//! amortises both — the production pattern of build once, select by model,
+//! execute many times:
+//!
+//! * plans are resolved through an LRU cache keyed by the full
+//!   [`CollectiveRequest`] (kind, topology, vector length, op, schedule,
+//!   root); the session's machine parameters are fixed at construction, so
+//!   they are implicitly part of every key and a repeated request reuses
+//!   the exact plan bytes it generated the first time, and
+//! * execution reuses one resettable [`Fabric`] per grid shape
+//!   ([`Fabric::reset`]) instead of reallocating the mesh per run.
+//!
+//! [`SessionStats`] exposes hit/miss and reuse counters so callers (and the
+//! integration tests) can verify the amortisation actually happens.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use wse_fabric::geometry::GridDim;
+use wse_fabric::Fabric;
+use wse_model::Machine;
+
+use crate::error::CollectiveError;
+use crate::request::{CollectiveRequest, ResolvedPlan};
+use crate::runner::{check_inputs, execute_on, RunConfig, RunOutcome};
+
+/// Configuration of a [`Session`].
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// The machine model used for `Schedule::Auto` selection and Auto-Gen
+    /// tree generation. Fixed for the session's lifetime — the plan cache is
+    /// keyed by request only, which is sound precisely because the machine
+    /// cannot change under it; if a mutable machine is ever introduced, the
+    /// machine must join the cache key.
+    pub machine: Machine,
+    /// Fabric parameters and optional noise applied to every run.
+    pub run: RunConfig,
+    /// Maximum number of resolved plans kept in the cache.
+    pub plan_cache_capacity: usize,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            machine: Machine::wse2(),
+            run: RunConfig::default(),
+            plan_cache_capacity: 64,
+        }
+    }
+}
+
+/// Counters describing how much work a session amortised.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Requests answered from the plan cache.
+    pub plan_hits: u64,
+    /// Requests that had to generate a plan.
+    pub plan_misses: u64,
+    /// Plans evicted to respect the cache capacity.
+    pub plan_evictions: u64,
+    /// Collective executions performed.
+    pub runs: u64,
+    /// Runs that reused (reset) an existing fabric.
+    pub fabric_reuses: u64,
+    /// Fabrics allocated for new grid shapes.
+    pub fabrics_created: u64,
+}
+
+/// An LRU map from request to resolved plan.
+///
+/// Hand-rolled on `HashMap` plus a monotone use counter: capacities are
+/// small (tens of plans), so eviction scans are cheap and we avoid an
+/// external LRU dependency.
+#[derive(Debug, Default)]
+struct PlanCache {
+    entries: HashMap<CollectiveRequest, (Arc<ResolvedPlan>, u64)>,
+    tick: u64,
+}
+
+impl PlanCache {
+    fn get(&mut self, request: &CollectiveRequest) -> Option<Arc<ResolvedPlan>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(request).map(|(plan, last_used)| {
+            *last_used = tick;
+            Arc::clone(plan)
+        })
+    }
+
+    /// Insert a plan, evicting the least-recently-used entry if `capacity`
+    /// would be exceeded. Returns the number of evictions.
+    fn insert(
+        &mut self,
+        request: CollectiveRequest,
+        plan: Arc<ResolvedPlan>,
+        capacity: usize,
+    ) -> u64 {
+        self.tick += 1;
+        let mut evictions = 0;
+        while self.entries.len() >= capacity.max(1) {
+            let Some(oldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, last_used))| *last_used)
+                .map(|(key, _)| *key)
+            else {
+                break;
+            };
+            self.entries.remove(&oldest);
+            evictions += 1;
+        }
+        self.entries.insert(request, (plan, self.tick));
+        evictions
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+/// A reusable executor for collective requests.
+///
+/// ```
+/// use wse_collectives::prelude::*;
+///
+/// let mut session = Session::new();
+/// let request = CollectiveRequest::reduce(Topology::line(8), 32)
+///     .with_schedule(Schedule::Reduce1d(ReducePattern::Chain));
+/// let inputs: Vec<Vec<f32>> = (0..8).map(|i| vec![i as f32; 32]).collect();
+///
+/// // First run generates the plan; subsequent runs hit the cache and reuse
+/// // the session's fabric.
+/// for _ in 0..3 {
+///     let outcome = session.run(&request, &inputs).unwrap();
+///     assert_outputs_close(&outcome, &expected_reduce(&inputs, ReduceOp::Sum), 1e-4);
+/// }
+/// assert_eq!(session.stats().plan_misses, 1);
+/// assert_eq!(session.stats().plan_hits, 2);
+/// ```
+#[derive(Debug)]
+pub struct Session {
+    config: SessionConfig,
+    cache: PlanCache,
+    fabrics: HashMap<GridDim, Fabric>,
+    stats: SessionStats,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session::new()
+    }
+}
+
+impl Session {
+    /// A session targeting the paper's WSE-2 machine with default settings.
+    pub fn new() -> Self {
+        Session::with_config(SessionConfig::default())
+    }
+
+    /// A session targeting a specific machine model.
+    pub fn with_machine(machine: Machine) -> Self {
+        Session::with_config(SessionConfig { machine, ..SessionConfig::default() })
+    }
+
+    /// A session with full configuration control.
+    pub fn with_config(config: SessionConfig) -> Self {
+        Session {
+            config,
+            cache: PlanCache::default(),
+            fabrics: HashMap::new(),
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// The machine model requests are resolved against.
+    pub fn machine(&self) -> &Machine {
+        &self.config.machine
+    }
+
+    /// Amortisation counters accumulated so far.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// Number of plans currently cached.
+    pub fn cached_plans(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Drop every cached plan (the fabrics and statistics are kept).
+    pub fn clear_plan_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Resolve a request into an executable plan through the plan cache.
+    ///
+    /// The first resolution of a distinct request generates the plan
+    /// (`plan_misses`); later resolutions return the cached plan unchanged
+    /// (`plan_hits`). The returned [`Arc`] stays valid even if the entry is
+    /// later evicted.
+    pub fn plan(
+        &mut self,
+        request: &CollectiveRequest,
+    ) -> Result<Arc<ResolvedPlan>, CollectiveError> {
+        if let Some(cached) = self.cache.get(request) {
+            self.stats.plan_hits += 1;
+            return Ok(cached);
+        }
+        let resolved = Arc::new(request.resolve(&self.config.machine)?);
+        self.stats.plan_misses += 1;
+        self.stats.plan_evictions +=
+            self.cache.insert(*request, Arc::clone(&resolved), self.config.plan_cache_capacity);
+        Ok(resolved)
+    }
+
+    /// Resolve (through the cache) and execute a request.
+    ///
+    /// `inputs` provides one vector per data PE of the resolved plan, in
+    /// plan order — for Reduce/AllReduce that is every PE of the topology in
+    /// row-major order, for Broadcast just the root. Execution reuses the
+    /// session's fabric for the request's grid shape, resetting it in place
+    /// instead of allocating a fresh mesh.
+    pub fn run(
+        &mut self,
+        request: &CollectiveRequest,
+        inputs: &[Vec<f32>],
+    ) -> Result<RunOutcome, CollectiveError> {
+        let resolved = self.plan(request)?;
+        self.run_resolved(&resolved, inputs)
+    }
+
+    /// Execute an already-resolved plan on the session's fabrics.
+    pub fn run_resolved(
+        &mut self,
+        resolved: &ResolvedPlan,
+        inputs: &[Vec<f32>],
+    ) -> Result<RunOutcome, CollectiveError> {
+        // Validate before counting anything or touching a fabric: a rejected
+        // call must leave the amortisation statistics untouched.
+        check_inputs(&resolved.plan, inputs)?;
+        let dim = resolved.plan.dim();
+        let Session { config, fabrics, stats, .. } = self;
+        let fabric = match fabrics.entry(dim) {
+            std::collections::hash_map::Entry::Occupied(entry) => {
+                stats.fabric_reuses += 1;
+                let fabric = entry.into_mut();
+                fabric.reset();
+                fabric
+            }
+            std::collections::hash_map::Entry::Vacant(entry) => {
+                stats.fabrics_created += 1;
+                entry.insert(Fabric::new(dim, config.run.params))
+            }
+        };
+        fabric.set_noise(config.run.noise.clone());
+        stats.runs += 1;
+        execute_on(fabric, &resolved.plan, inputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reduce::ReducePattern;
+    use crate::request::{Schedule, Topology};
+    use crate::runner::{assert_outputs_close, expected_reduce, run_plan};
+    use wse_fabric::program::ReduceOp;
+
+    fn inputs(p: usize, b: usize) -> Vec<Vec<f32>> {
+        (0..p).map(|i| (0..b).map(|j| ((i * 7 + j) % 13) as f32 * 0.5 - 2.0).collect()).collect()
+    }
+
+    #[test]
+    fn session_results_match_one_shot_run_plan_for_every_pattern() {
+        // Satellite requirement: a session run must agree with the one-shot
+        // `run_plan` path for every 1D Reduce pattern on a 16-PE row.
+        let mut session = Session::new();
+        let p = 16u32;
+        let b = 48u32;
+        let data = inputs(p as usize, b as usize);
+        for pattern in ReducePattern::all() {
+            let request = CollectiveRequest::reduce(Topology::line(p), b)
+                .with_schedule(Schedule::Reduce1d(pattern));
+            let session_outcome = session.run(&request, &data).unwrap();
+
+            let resolved = request.resolve(session.machine()).unwrap();
+            let one_shot = run_plan(&resolved.plan, &data, &RunConfig::default()).unwrap();
+
+            assert_eq!(session_outcome.report, one_shot.report, "{}", pattern.name());
+            assert_eq!(session_outcome.outputs, one_shot.outputs, "{}", pattern.name());
+        }
+    }
+
+    #[test]
+    fn repeated_requests_hit_the_cache_and_reuse_the_fabric() {
+        let mut session = Session::new();
+        let request = CollectiveRequest::allreduce(Topology::line(8), 32);
+        let data = inputs(8, 32);
+        for _ in 0..4 {
+            let outcome = session.run(&request, &data).unwrap();
+            assert_outputs_close(&outcome, &expected_reduce(&data, ReduceOp::Sum), 1e-4);
+        }
+        let stats = session.stats();
+        assert_eq!(stats.plan_misses, 1);
+        assert_eq!(stats.plan_hits, 3);
+        assert_eq!(stats.runs, 4);
+        assert_eq!(stats.fabrics_created, 1);
+        assert_eq!(stats.fabric_reuses, 3);
+    }
+
+    #[test]
+    fn cache_returns_the_identical_plan_object() {
+        let mut session = Session::new();
+        let request = CollectiveRequest::reduce(Topology::line(12), 16);
+        let first = session.plan(&request).unwrap();
+        let second = session.plan(&request).unwrap();
+        assert!(Arc::ptr_eq(&first, &second), "a cache hit returns the same Arc");
+    }
+
+    #[test]
+    fn distinct_requests_occupy_distinct_cache_entries() {
+        let mut session = Session::new();
+        let base = CollectiveRequest::reduce(Topology::line(8), 16);
+        session.plan(&base).unwrap();
+        session.plan(&base.with_op(ReduceOp::Max)).unwrap();
+        session.plan(&base.with_schedule(Schedule::Reduce1d(ReducePattern::Star))).unwrap();
+        session.plan(&CollectiveRequest::allreduce(Topology::line(8), 16)).unwrap();
+        assert_eq!(session.cached_plans(), 4);
+        assert_eq!(session.stats().plan_misses, 4);
+        assert_eq!(session.stats().plan_hits, 0);
+    }
+
+    #[test]
+    fn lru_eviction_respects_capacity_and_recency() {
+        let mut session = Session::with_config(SessionConfig {
+            plan_cache_capacity: 2,
+            ..SessionConfig::default()
+        });
+        let a = CollectiveRequest::reduce(Topology::line(4), 8);
+        let b = CollectiveRequest::reduce(Topology::line(5), 8);
+        let c = CollectiveRequest::reduce(Topology::line(6), 8);
+        session.plan(&a).unwrap();
+        session.plan(&b).unwrap();
+        session.plan(&a).unwrap(); // refresh a; b is now least recent
+        session.plan(&c).unwrap(); // evicts b
+        assert_eq!(session.cached_plans(), 2);
+        assert_eq!(session.stats().plan_evictions, 1);
+        session.plan(&a).unwrap();
+        assert_eq!(session.stats().plan_hits, 2, "a must have survived the eviction");
+        session.plan(&b).unwrap();
+        assert_eq!(session.stats().plan_misses, 4, "b was evicted and rebuilt");
+    }
+
+    #[test]
+    fn sessions_reuse_one_fabric_per_grid_shape() {
+        let mut session = Session::new();
+        let line = CollectiveRequest::reduce(Topology::line(6), 8);
+        let grid = CollectiveRequest::reduce(Topology::grid(3, 2), 8);
+        session.run(&line, &inputs(6, 8)).unwrap();
+        session.run(&grid, &inputs(6, 8)).unwrap();
+        session.run(&line, &inputs(6, 8)).unwrap();
+        session.run(&grid, &inputs(6, 8)).unwrap();
+        let stats = session.stats();
+        assert_eq!(stats.fabrics_created, 2, "one fabric per distinct grid shape");
+        assert_eq!(stats.fabric_reuses, 2);
+    }
+
+    #[test]
+    fn interleaved_requests_on_a_shared_fabric_stay_correct() {
+        // Back-to-back different plans on the same grid exercise the reset
+        // path: leftovers from the previous plan (router cursors, local
+        // memory) must never leak into the next run.
+        let mut session = Session::new();
+        let p = 10u32;
+        let b = 20u32;
+        let data = inputs(p as usize, b as usize);
+        let expected = expected_reduce(&data, ReduceOp::Sum);
+        let patterns = [
+            ReducePattern::Star,
+            ReducePattern::Chain,
+            ReducePattern::TwoPhase,
+            ReducePattern::Star,
+            ReducePattern::Tree,
+            ReducePattern::Chain,
+        ];
+        for pattern in patterns {
+            let request = CollectiveRequest::reduce(Topology::line(p), b)
+                .with_schedule(Schedule::Reduce1d(pattern));
+            let outcome = session.run(&request, &data).unwrap();
+            assert_outputs_close(&outcome, &expected, 1e-4);
+        }
+        assert_eq!(session.stats().fabrics_created, 1);
+    }
+
+    #[test]
+    fn rejected_runs_leave_execution_stats_untouched() {
+        let mut session = Session::new();
+        let request = CollectiveRequest::reduce(Topology::line(4), 8);
+        let err = session.run(&request, &[vec![0.0; 3]]).unwrap_err();
+        assert!(matches!(err, CollectiveError::InputCountMismatch { .. }));
+        let stats = session.stats();
+        assert_eq!(stats.runs, 0, "a rejected run is not an execution");
+        assert_eq!(stats.fabrics_created, 0);
+        assert_eq!(stats.fabric_reuses, 0);
+        // Planning still happened (the request itself is valid).
+        assert_eq!(stats.plan_misses, 1);
+    }
+
+    #[test]
+    fn clear_plan_cache_forces_regeneration() {
+        let mut session = Session::new();
+        let request = CollectiveRequest::reduce(Topology::line(8), 8);
+        session.plan(&request).unwrap();
+        session.clear_plan_cache();
+        assert_eq!(session.cached_plans(), 0);
+        session.plan(&request).unwrap();
+        assert_eq!(session.stats().plan_misses, 2);
+    }
+}

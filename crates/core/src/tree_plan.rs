@@ -184,20 +184,20 @@ pub fn append_tree_reduce(
 fn push_merged(plan: &mut CollectivePlan, at: Coord, color: Color, rule: RouteRule) {
     if let Some((_, script)) = plan.scripts(at).iter().find(|(c, _)| *c == color) {
         if let Some(last) = script.rules().last() {
-            if last.accept_from == rule.accept_from
-                && last.forward_to == rule.forward_to
-                && last.advance_after.is_some()
-                && rule.advance_after.is_some()
-                && !last.advance_on_control
-                && !rule.advance_on_control
-            {
-                let merged = RouteRule::counted(
-                    rule.accept_from,
-                    rule.forward_to,
-                    last.advance_after.unwrap() + rule.advance_after.unwrap(),
-                );
-                plan.replace_last_rule(at, color, merged);
-                return;
+            if let (Some(last_count), Some(rule_count)) = (last.advance_after, rule.advance_after) {
+                if last.accept_from == rule.accept_from
+                    && last.forward_to == rule.forward_to
+                    && !last.advance_on_control
+                    && !rule.advance_on_control
+                {
+                    let merged = RouteRule::counted(
+                        rule.accept_from,
+                        rule.forward_to,
+                        last_count + rule_count,
+                    );
+                    plan.replace_last_rule(at, color, merged);
+                    return;
+                }
             }
         }
     }
@@ -227,9 +227,7 @@ mod tests {
     }
 
     fn inputs_for(p: usize, b: usize) -> Vec<Vec<f32>> {
-        (0..p)
-            .map(|i| (0..b).map(|j| (i * 37 + j) as f32 * 0.5 + 1.0).collect())
-            .collect()
+        (0..p).map(|i| (0..b).map(|j| (i * 37 + j) as f32 * 0.5 + 1.0).collect()).collect()
     }
 
     fn check_tree(p: u32, b: u32, tree: ReductionTree) -> u64 {

@@ -7,8 +7,42 @@
 //! cycle numbers into skewed per-PE local readings, and a [`NoiseModel`]
 //! injects random no-op cycles into PE execution.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+/// Small deterministic splitmix64 generator. The repository builds without
+/// network access, so the clock and noise models use this in place of an
+/// external RNG crate; determinism per seed is all they need.
+#[derive(Debug, Clone)]
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn seed_from_u64(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform draw from `[0, bound]`.
+    fn below_inclusive(&mut self, bound: u64) -> u64 {
+        if bound == u64::MAX {
+            self.next_u64()
+        } else {
+            self.next_u64() % (bound + 1)
+        }
+    }
+
+    fn gen_bool(&mut self, probability: f64) -> bool {
+        self.next_f64() < probability
+    }
+}
 
 /// Per-PE clock offsets: local reading = true cycle + offset.
 ///
@@ -32,8 +66,8 @@ impl ClockModel {
     /// between local clocks are arbitrary non-negative values; what matters
     /// for the measurement methodology is only that they differ.
     pub fn random(num_pes: usize, max_skew: u64, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let offsets = (0..num_pes).map(|_| rng.gen_range(0..=max_skew as i64)).collect();
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let offsets = (0..num_pes).map(|_| rng.below_inclusive(max_skew) as i64).collect();
         ClockModel { offsets }
     }
 
@@ -62,18 +96,15 @@ impl ClockModel {
 #[derive(Debug, Clone)]
 pub struct NoiseModel {
     probability: f64,
-    rng: StdRng,
+    rng: SplitMix64,
 }
 
 impl NoiseModel {
     /// A noise model that inserts a no-op before a PE cycle with the given
     /// probability.
     pub fn new(probability: f64, seed: u64) -> Self {
-        assert!(
-            (0.0..1.0).contains(&probability),
-            "no-op probability must be in [0, 1)"
-        );
-        NoiseModel { probability, rng: StdRng::seed_from_u64(seed) }
+        assert!((0.0..1.0).contains(&probability), "no-op probability must be in [0, 1)");
+        NoiseModel { probability, rng: SplitMix64::seed_from_u64(seed) }
     }
 
     /// The configured no-op probability.

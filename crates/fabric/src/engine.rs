@@ -44,10 +44,7 @@ struct PortQueues {
 
 impl PortQueues {
     fn has_space(&self, color: Color) -> bool {
-        self.queues
-            .iter()
-            .find(|(c, _)| *c == color)
-            .is_none_or(|(_, q)| q.len() < INBUF_CAPACITY)
+        self.queues.iter().find(|(c, _)| *c == color).is_none_or(|(_, q)| q.len() < INBUF_CAPACITY)
     }
 
     fn push(&mut self, arrival: u64, wavelet: Wavelet) {
@@ -78,16 +75,17 @@ impl PortQueues {
     }
 
     fn pop(&mut self, color: Color) -> Wavelet {
-        let (_, q) = self
-            .queues
-            .iter_mut()
-            .find(|(c, _)| *c == color)
-            .expect("pop of an unknown color");
+        let (_, q) =
+            self.queues.iter_mut().find(|(c, _)| *c == color).expect("pop of an unknown color");
         q.pop_front().expect("pop of an empty queue").1
     }
 
     fn is_empty(&self) -> bool {
         self.queues.iter().all(|(_, q)| q.is_empty())
+    }
+
+    fn clear(&mut self) {
+        self.queues.clear();
     }
 }
 
@@ -96,7 +94,7 @@ impl PortQueues {
 const DEADLOCK_PATIENCE: u64 = 16;
 
 /// Hardware parameters of the simulated fabric.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FabricParams {
     /// Ramp latency `T_R` in cycles (2 on the WSE-2).
     pub ramp_latency: u64,
@@ -250,6 +248,36 @@ impl Fabric {
         self.dim
     }
 
+    /// Return the fabric to its post-construction state while keeping every
+    /// allocation (PE local memories, router script tables, input queues).
+    ///
+    /// This is the reuse path for execution sessions: installing a plan on a
+    /// reset fabric behaves identically to installing it on a freshly
+    /// constructed one, but skips re-allocating the whole mesh. Programs and
+    /// routing scripts are removed, local memories zeroed, queues drained and
+    /// all counters (cycle, energy, link loads, per-PE statistics) cleared;
+    /// the noise model is detached so a reused fabric does not silently
+    /// inherit the previous run's noise.
+    pub fn reset(&mut self) {
+        for pe in &mut self.pes {
+            pe.reset();
+        }
+        for router in &mut self.routers {
+            router.clear();
+        }
+        for bufs in &mut self.inbuf {
+            for queues in bufs.iter_mut() {
+                queues.clear();
+            }
+        }
+        for loads in &mut self.link_load {
+            *loads = [0; 4];
+        }
+        self.cycle = 0;
+        self.energy_hops = 0;
+        self.noise = None;
+    }
+
     /// The hardware parameters.
     pub fn params(&self) -> FabricParams {
         self.params
@@ -334,6 +362,10 @@ impl Fabric {
         let n = self.pes.len();
         let mut out_used = vec![[false; 5]; n];
 
+        // An index loop over the PEs: the body reads and writes several
+        // per-PE arrays (`pes`, `inbuf`, `routers`, `out_used`) including
+        // entries of *other* PEs, which rules out a simple iterator.
+        #[allow(clippy::needless_range_loop)]
         for i in 0..n {
             let here = self.dim.coord(i);
             for port in Direction::ALL {
@@ -511,6 +543,13 @@ mod tests {
     fn message_fabric(p: u32, b: u32) -> Fabric {
         let dim = GridDim::row(p);
         let mut fabric = Fabric::new(dim, FabricParams::default());
+        configure_message(&mut fabric, p, b);
+        fabric
+    }
+
+    /// Install the message configuration of [`message_fabric`] on an existing
+    /// (fresh or reset) fabric.
+    fn configure_message(fabric: &mut Fabric, p: u32, b: u32) {
         let color = c(0);
         let data: Vec<f32> = (0..b).map(|i| i as f32 + 1.0).collect();
 
@@ -555,7 +594,6 @@ mod tests {
                 DirectionSet::single(Direction::Ramp),
             )]),
         );
-        fabric
     }
 
     #[test]
@@ -582,10 +620,7 @@ mod tests {
             let measured = report.finish_of(0) as f64;
             let model = (b + p) as f64 + 4.0;
             let rel = (measured - model).abs() / model;
-            assert!(
-                rel < 0.25,
-                "p={p} b={b}: measured {measured} vs model {model} (rel {rel:.3})"
-            );
+            assert!(rel < 0.25, "p={p} b={b}: measured {measured} vs model {model} (rel {rel:.3})");
         }
     }
 
@@ -616,11 +651,7 @@ mod tests {
 
         for x in 0..p - 1 {
             let at = Coord::new(x, 0);
-            let forward = if x == 0 {
-                DirectionSet::single(Direction::Ramp)
-            } else {
-                west_ramp()
-            };
+            let forward = if x == 0 { DirectionSet::single(Direction::Ramp) } else { west_ramp() };
             fabric.set_router_script(
                 at,
                 color,
@@ -696,10 +727,7 @@ mod tests {
         // T_Chain = B + (2 T_R + 2)(P - 1) = 6 + 18 = 24; allow pipeline slack.
         let model = 24.0;
         let measured = report.finish_of(0) as f64;
-        assert!(
-            (measured - model).abs() / model < 0.3,
-            "measured {measured} vs model {model}"
-        );
+        assert!((measured - model).abs() / model < 0.3, "measured {measured} vs model {model}");
         assert_eq!(report.max_received, b as u64);
     }
 
@@ -795,13 +823,51 @@ mod tests {
             middle,
             color,
             ColorScript::new(vec![
-                RouteRule::counted(Direction::East, DirectionSet::single(Direction::Ramp), b as u64),
-                RouteRule::counted(Direction::West, DirectionSet::single(Direction::Ramp), b as u64),
+                RouteRule::counted(
+                    Direction::East,
+                    DirectionSet::single(Direction::Ramp),
+                    b as u64,
+                ),
+                RouteRule::counted(
+                    Direction::West,
+                    DirectionSet::single(Direction::Ramp),
+                    b as u64,
+                ),
             ]),
         );
 
         fabric.run().expect("run succeeds");
         assert_eq!(fabric.local(middle)[..b as usize], vec![4.0; b as usize][..]);
+    }
+
+    #[test]
+    fn reset_fabric_reruns_identically_to_a_fresh_one() {
+        // A reused (reset) fabric must be indistinguishable from a fresh one:
+        // same results, same report — including after a run that left router
+        // cursors advanced and statistics populated.
+        let mut reused = message_fabric(6, 24);
+        let first = reused.run().expect("first run succeeds");
+
+        reused.reset();
+        assert_eq!(reused.cycle(), 0);
+        assert!(reused.finished(), "a reset fabric has no pending work");
+
+        configure_message(&mut reused, 6, 24);
+        let again = reused.run().expect("rerun on the reset fabric succeeds");
+        assert_eq!(again, first);
+        let expected: Vec<f32> = (0..24).map(|i| i as f32 + 1.0).collect();
+        assert_eq!(reused.local(Coord::new(0, 0))[..24], expected[..]);
+    }
+
+    #[test]
+    fn reset_clears_leftover_local_memory() {
+        let mut fabric = message_fabric(4, 8);
+        fabric.run().expect("run succeeds");
+        assert!(fabric.local(Coord::new(0, 0)).iter().any(|v| *v != 0.0));
+        fabric.reset();
+        for x in 0..4 {
+            assert!(fabric.local(Coord::new(x, 0)).iter().all(|v| *v == 0.0));
+        }
     }
 
     #[test]

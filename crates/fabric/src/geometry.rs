@@ -20,21 +20,12 @@ pub enum Direction {
 
 impl Direction {
     /// All five directions, in a fixed arbitration order.
-    pub const ALL: [Direction; 5] = [
-        Direction::West,
-        Direction::East,
-        Direction::North,
-        Direction::South,
-        Direction::Ramp,
-    ];
+    pub const ALL: [Direction; 5] =
+        [Direction::West, Direction::East, Direction::North, Direction::South, Direction::Ramp];
 
     /// The four mesh directions (everything except the ramp).
-    pub const MESH: [Direction; 4] = [
-        Direction::West,
-        Direction::East,
-        Direction::North,
-        Direction::South,
-    ];
+    pub const MESH: [Direction; 4] =
+        [Direction::West, Direction::East, Direction::North, Direction::South];
 
     /// The direction a wavelet arrives from at the neighbouring router after
     /// leaving through `self`. Panics for [`Direction::Ramp`].
@@ -86,15 +77,6 @@ impl DirectionSet {
         DirectionSet(1 << d.index())
     }
 
-    /// Build a set from an iterator of directions.
-    pub fn from_iter<I: IntoIterator<Item = Direction>>(iter: I) -> Self {
-        let mut s = DirectionSet::EMPTY;
-        for d in iter {
-            s = s.with(d);
-        }
-        s
-    }
-
     /// The set with `d` added.
     #[must_use]
     pub fn with(self, d: Direction) -> Self {
@@ -119,6 +101,16 @@ impl DirectionSet {
     /// Iterate over the directions in the set.
     pub fn iter(self) -> impl Iterator<Item = Direction> {
         Direction::ALL.into_iter().filter(move |d| self.contains(*d))
+    }
+}
+
+impl FromIterator<Direction> for DirectionSet {
+    fn from_iter<I: IntoIterator<Item = Direction>>(iter: I) -> Self {
+        let mut s = DirectionSet::EMPTY;
+        for d in iter {
+            s = s.with(d);
+        }
+        s
     }
 }
 
@@ -162,7 +154,7 @@ impl fmt::Display for Coord {
 }
 
 /// The rectangular extent of the simulated fabric.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct GridDim {
     /// Number of columns.
     pub width: u32,
@@ -288,14 +280,8 @@ mod tests {
         let g = GridDim::new(3, 2);
         assert_eq!(g.neighbor(Coord::new(0, 0), Direction::West), None);
         assert_eq!(g.neighbor(Coord::new(0, 0), Direction::North), None);
-        assert_eq!(
-            g.neighbor(Coord::new(0, 0), Direction::East),
-            Some(Coord::new(1, 0))
-        );
-        assert_eq!(
-            g.neighbor(Coord::new(1, 0), Direction::South),
-            Some(Coord::new(1, 1))
-        );
+        assert_eq!(g.neighbor(Coord::new(0, 0), Direction::East), Some(Coord::new(1, 0)));
+        assert_eq!(g.neighbor(Coord::new(1, 0), Direction::South), Some(Coord::new(1, 1)));
         assert_eq!(g.neighbor(Coord::new(2, 1), Direction::East), None);
         assert_eq!(g.neighbor(Coord::new(2, 1), Direction::South), None);
         assert_eq!(g.neighbor(Coord::new(1, 1), Direction::Ramp), None);

@@ -71,8 +71,7 @@ pub fn reference_delay(at: Coord) -> u64 {
 /// Number of staggering writes PE `(i, j)` performs for a wait parameter
 /// `α`: `α·(M + N − i − j)`.
 pub fn stagger_writes(dims: GridDim, at: Coord, alpha: f64) -> u64 {
-    let slots = (dims.width as u64 + dims.height as u64)
-        .saturating_sub(at.x as u64 + at.y as u64);
+    let slots = (dims.width as u64 + dims.height as u64).saturating_sub(at.x as u64 + at.y as u64);
     (alpha * slots as f64).round().max(0.0) as u64
 }
 

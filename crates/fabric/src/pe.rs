@@ -83,6 +83,25 @@ impl PeState {
         }
     }
 
+    /// Return the PE to its post-construction state while keeping its
+    /// allocations: the program is cleared, local memory is zeroed (but stays
+    /// allocated), the ramp FIFOs are drained and the statistics reset. Used
+    /// by [`crate::Fabric::reset`] so an execution session can reuse one
+    /// fabric across many collective runs.
+    pub fn reset(&mut self) {
+        self.program.clear();
+        self.pc = 0;
+        self.progress = 0;
+        self.progress_alt = 0;
+        self.local.iter_mut().for_each(|v| *v = 0.0);
+        self.ramp_up.clear();
+        self.ramp_down.clear();
+        self.finish_cycle = Some(0);
+        self.instruction_finish.clear();
+        self.pending_noops = 0;
+        self.stats = PeStats::default();
+    }
+
     /// Install the program, resizing local memory to fit its accesses.
     pub fn set_program(&mut self, program: &PeProgram) {
         self.program = program.instructions().to_vec();
@@ -295,14 +314,22 @@ impl PeState {
                     self.stats.stall_cycles += 1;
                 }
             }
-            Instruction::Exchange { send_color, send_offset, recv_color, recv_offset, len, mode } => {
+            Instruction::Exchange {
+                send_color,
+                send_offset,
+                recv_color,
+                recv_offset,
+                len,
+                mode,
+            } => {
                 // Sends and receives progress independently, at most one
                 // wavelet each per cycle.
                 let mut did_anything = false;
                 if self.progress_alt < len && self.ramp_up_has_space() {
                     let idx = (send_offset + self.progress_alt) as usize;
                     let value = self.read_local(idx)?;
-                    self.ramp_up.push_back((now + ramp_latency, Wavelet::from_f32(send_color, value)));
+                    self.ramp_up
+                        .push_back((now + ramp_latency, Wavelet::from_f32(send_color, value)));
                     self.stats.sent += 1;
                     self.progress_alt += 1;
                     did_anything = true;
@@ -352,11 +379,9 @@ impl PeState {
     }
 
     fn read_local(&self, idx: usize) -> Result<f32, PeError> {
-        self.local.get(idx).copied().ok_or_else(|| {
-            PeError {
-                pe: self.index,
-                message: format!("local memory access out of bounds: index {idx}"),
-            }
+        self.local.get(idx).copied().ok_or_else(|| PeError {
+            pe: self.index,
+            message: format!("local memory access out of bounds: index {idx}"),
         })
     }
 

@@ -111,8 +111,8 @@ impl ReductionTree {
         let mut parent: Vec<Option<usize>> = vec![None; p];
         for (g, &lo) in starts.iter().enumerate() {
             let hi = if g + 1 < starts.len() { starts[g + 1] } else { p };
-            for i in lo + 1..hi {
-                parent[i] = Some(i - 1);
+            for (i, slot) in parent.iter_mut().enumerate().take(hi).skip(lo + 1) {
+                *slot = Some(i - 1);
             }
             if g > 0 {
                 parent[lo] = Some(starts[g - 1]);
@@ -204,9 +204,7 @@ impl ReductionTree {
                 let disjoint = hi1 <= lo2 || hi2 <= lo1;
                 let nested = (lo1 <= lo2 && hi2 <= hi1) || (lo2 <= lo1 && hi1 <= hi2);
                 if !disjoint && !nested {
-                    return Err(format!(
-                        "edges ({lo1},{hi1}) and ({lo2},{hi2}) partially overlap"
-                    ));
+                    return Err(format!("edges ({lo1},{hi1}) and ({lo2},{hi2}) partially overlap"));
                 }
             }
         }
@@ -398,10 +396,7 @@ impl AutogenSolver {
     /// Reconstruct the minimum-energy tree for the DP state `(d, c)`.
     /// Panics if the state is infeasible.
     pub fn dp_tree(&self, d: u64, c: u64) -> ReductionTree {
-        assert!(
-            self.dp_energy(d, c).is_some(),
-            "no feasible tree for depth {d}, contention {c}"
-        );
+        assert!(self.dp_energy(d, c).is_some(), "no feasible tree for depth {d}, contention {c}");
         let mut parent: Vec<Option<usize>> = vec![None; self.p];
         let mut order: Vec<Vec<usize>> = vec![Vec::new(); self.p];
         self.rebuild(
@@ -490,11 +485,7 @@ impl AutogenSolver {
         }
         for s in Self::group_candidates(p) {
             let t = ReductionTree::two_phase(self.p, s as usize);
-            let c = eval(
-                t.scalar_energy() as f64,
-                t.height() as f64,
-                t.max_in_degree() as f64,
-            );
+            let c = eval(t.scalar_energy() as f64, t.height() as f64, t.max_in_degree() as f64);
             if c < best.cycles {
                 best = AutogenCost { cycles: c, kind: ScheduleKind::TwoPhase { group: s } };
             }
@@ -643,16 +634,9 @@ mod tests {
                     let tree = solver.dp_tree(d, c);
                     tree.validate().unwrap();
                     assert_eq!(tree.num_pes(), p as usize);
-                    assert_eq!(
-                        tree.scalar_energy(),
-                        e,
-                        "tree energy mismatch at d={d} c={c}"
-                    );
+                    assert_eq!(tree.scalar_energy(), e, "tree energy mismatch at d={d} c={c}");
                     assert!(tree.height() <= d, "height exceeds budget at d={d} c={c}");
-                    assert!(
-                        tree.max_in_degree() <= c,
-                        "in-degree exceeds budget at d={d} c={c}"
-                    );
+                    assert!(tree.max_in_degree() <= c, "in-degree exceeds budget at d={d} c={c}");
                 }
             }
         }
@@ -731,8 +715,7 @@ mod tests {
                 let t = tree.cost_terms(b);
                 // Evaluate with the Auto-Gen cost expression (same as eval in
                 // best_cost): contention vs energy/(P-1) + P-1 plus depth.
-                (t.contention)
-                    .max(t.energy / (p as f64 - 1.0) + (p as f64 - 1.0))
+                (t.contention).max(t.energy / (p as f64 - 1.0) + (p as f64 - 1.0))
                     + t.depth * mach.depth_overhead() as f64
             };
             assert!(

@@ -48,11 +48,8 @@ impl CostTerms {
     /// contended PE; each unit of depth pays the ramp round trip plus one
     /// cycle to store the received element.
     pub fn predict(&self, machine: &Machine) -> f64 {
-        let network = if self.links > 0.0 {
-            self.energy / self.links + self.distance
-        } else {
-            self.distance
-        };
+        let network =
+            if self.links > 0.0 { self.energy / self.links + self.distance } else { self.distance };
         let steady = self.contention.max(network);
         steady + machine.depth_overhead() as f64 * self.depth
     }
@@ -101,11 +98,8 @@ pub struct PredictionBreakdown {
 impl CostTerms {
     /// Break the prediction of Eq. (1) into its components.
     pub fn breakdown(&self, machine: &Machine) -> PredictionBreakdown {
-        let network = if self.links > 0.0 {
-            self.energy / self.links + self.distance
-        } else {
-            self.distance
-        };
+        let network =
+            if self.links > 0.0 { self.energy / self.links + self.distance } else { self.distance };
         let depth = machine.depth_overhead() as f64 * self.depth;
         PredictionBreakdown {
             contention: self.contention,
@@ -139,13 +133,7 @@ mod tests {
     #[test]
     fn zero_links_falls_back_to_distance() {
         let m = Machine::wse2();
-        let c = CostTerms {
-            energy: 0.0,
-            distance: 7.0,
-            depth: 1.0,
-            contention: 3.0,
-            links: 0.0,
-        };
+        let c = CostTerms { energy: 0.0, distance: 7.0, depth: 1.0, contention: 3.0, links: 0.0 };
         assert!((c.predict(&m) - 12.0).abs() < 1e-12);
     }
 

@@ -139,13 +139,7 @@ pub fn two_phase(p: u64, b: u64, s: u64) -> CostTerms {
     // Contention: a group leader receives the group chain (B) and, in phase
     // 2, the accumulated vector of the next leader (B).
     let contention = if groups > 1 { 2 * b } else { b };
-    CostTerms::new(
-        energy_phase1 + energy_phase2,
-        p - 1,
-        depth,
-        contention,
-        p - 1,
-    )
+    CostTerms::new(energy_phase1 + energy_phase2, p - 1, depth, contention, p - 1)
 }
 
 /// The group size the paper uses throughout: `S = round(sqrt(P))`, which
@@ -229,26 +223,15 @@ pub fn butterfly_allreduce(p: u64, b: u64) -> CostTerms {
         dist *= 2;
     }
     let max_hop = 1u64 << (rounds.saturating_sub(1));
-    CostTerms::new(
-        energy,
-        max_hop.min(p - 1),
-        rounds,
-        b * rounds,
-        2 * (p - 1),
-    )
+    CostTerms::new(energy, max_hop.min(p - 1), rounds, b * rounds, 2 * (p - 1))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    const M: Machine = Machine {
-        t_r: 2,
-        clock_mhz: 850.0,
-        ramp_ports: 1,
-        colors: 24,
-        sram_bytes: 49152,
-    };
+    const M: Machine =
+        Machine { t_r: 2, clock_mhz: 850.0, ramp_ports: 1, colors: 24, sram_bytes: 49152 };
 
     #[test]
     fn message_matches_lemma() {
@@ -256,10 +239,7 @@ mod tests {
         for (p, b) in [(2u64, 1u64), (8, 16), (512, 4096), (37, 251)] {
             let t = message(p, b).predict(&M);
             let expected = (b + p + 2 * M.t_r) as f64;
-            assert!(
-                (t - expected).abs() < 1e-9,
-                "p={p} b={b}: got {t}, expected {expected}"
-            );
+            assert!((t - expected).abs() < 1e-9, "p={p} b={b}: got {t}, expected {expected}");
         }
     }
 
@@ -312,10 +292,7 @@ mod tests {
         for (p, b) in [(2u64, 1u64), (16, 64), (512, 4096), (100, 7)] {
             let t = chain(p, b).predict(&M);
             let expected = b as f64 + (2 * M.t_r + 2) as f64 * (p - 1) as f64;
-            assert!(
-                (t - expected).abs() < 1e-9,
-                "p={p} b={b}: got {t}, expected {expected}"
-            );
+            assert!((t - expected).abs() < 1e-9, "p={p} b={b}: got {t}, expected {expected}");
         }
     }
 
@@ -327,10 +304,7 @@ mod tests {
             let contention = b as f64 * log_p;
             let network = b as f64 * p as f64 / (2.0 * (p as f64 - 1.0)) * log_p + (p - 1) as f64;
             let expected = contention.max(network) + 5.0 * log_p;
-            assert!(
-                (t - expected).abs() < 1e-6,
-                "p={p} b={b}: got {t}, expected {expected}"
-            );
+            assert!((t - expected).abs() < 1e-6, "p={p} b={b}: got {t}, expected {expected}");
         }
     }
 
@@ -353,10 +327,7 @@ mod tests {
             // The general construction uses N = P - 1 links whereas the lemma
             // uses N = P, so allow a small relative slack.
             let rel = (general - lemma).abs() / lemma;
-            assert!(
-                rel < 0.05,
-                "p={p} b={b}: general {general} vs lemma {lemma} (rel {rel})"
-            );
+            assert!(rel < 0.05, "p={p} b={b}: general {general} vs lemma {lemma} (rel {rel})");
         }
     }
 
@@ -389,10 +360,7 @@ mod tests {
             let b_f = b as f64;
             let expected =
                 2.0 * (p_f - 1.0) * b_f / p_f + 4.0 * p_f - 6.0 + 2.0 * (p_f - 1.0) * 5.0;
-            assert!(
-                (t - expected).abs() < 1e-6,
-                "p={p} b={b}: got {t}, expected {expected}"
-            );
+            assert!((t - expected).abs() < 1e-6, "p={p} b={b}: got {t}, expected {expected}");
         }
     }
 

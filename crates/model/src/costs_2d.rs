@@ -109,7 +109,8 @@ pub fn xy_allreduce(m: u64, n: u64, b: u64, pattern: Phase1d, machine: &Machine)
 /// inside every row and then along every column (plotted as "X-Y Ring" in
 /// Figure 13b).
 pub fn xy_ring_allreduce(m: u64, n: u64, b: u64, machine: &Machine) -> f64 {
-    costs_1d::ring_allreduce(n, b).predict(machine) + costs_1d::ring_allreduce(m, b).predict(machine)
+    costs_1d::ring_allreduce(n, b).predict(machine)
+        + costs_1d::ring_allreduce(m, b).predict(machine)
 }
 
 /// Predicted cycles of the Snake AllReduce: Snake Reduce followed by the 2D

@@ -73,4 +73,6 @@ pub mod sweep;
 pub use autogen::{AutogenSolver, ReductionTree};
 pub use cost::CostTerms;
 pub use machine::Machine;
-pub use selection::{AllReduce1dAlgorithm, Reduce1dAlgorithm, Reduce2dAlgorithm};
+pub use selection::{
+    AllReduce1dAlgorithm, Choice, ChosenAlgorithm, Reduce1dAlgorithm, Reduce2dAlgorithm,
+};

@@ -46,7 +46,7 @@ impl LowerBound1d {
         prev[1] = 0;
         let mut per_depth = vec![INFEASIBLE; max_d + 1];
         let mut cur = vec![0u64; p_us + 1];
-        for d in 1..=max_d {
+        for depth_slot in per_depth.iter_mut().skip(1) {
             cur[0] = INFEASIBLE;
             cur[1] = 0;
             for q in 2..=p_us {
@@ -67,7 +67,7 @@ impl LowerBound1d {
                 }
                 cur[q] = best;
             }
-            per_depth[d] = cur[p_us];
+            *depth_slot = cur[p_us];
             std::mem::swap(&mut prev, &mut cur);
         }
         LowerBound1d { p, scalar_energy: per_depth }
@@ -233,10 +233,7 @@ mod tests {
             let bound = lb.t_star(b, &mach);
             for tree in &trees {
                 let cost = tree.cost_terms(b).predict(&mach);
-                assert!(
-                    bound <= cost + 1e-6,
-                    "b={b}: bound {bound} exceeds tree cost {cost}"
-                );
+                assert!(bound <= cost + 1e-6, "b={b}: bound {bound} exceeds tree cost {cost}");
             }
         }
     }

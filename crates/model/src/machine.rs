@@ -27,13 +27,7 @@ impl Machine {
     /// Parameters of the second-generation WSE (Cerebras CS-2), the machine
     /// evaluated in the paper.
     pub fn wse2() -> Self {
-        Machine {
-            t_r: 2,
-            clock_mhz: 850.0,
-            ramp_ports: 1,
-            colors: 24,
-            sram_bytes: 48 * 1024,
-        }
+        Machine { t_r: 2, clock_mhz: 850.0, ramp_ports: 1, colors: 24, sram_bytes: 48 * 1024 }
     }
 
     /// A machine identical to [`Machine::wse2`] except for the ramp latency.

@@ -90,13 +90,7 @@ impl AllReduce1dAlgorithm {
     /// The fixed algorithms considered for the best-algorithm regions of
     /// Figure 8 (Auto-Gen and Butterfly excluded, as in the paper).
     pub fn fixed() -> [AllReduce1dAlgorithm; 5] {
-        [
-            Self::StarBcast,
-            Self::ChainBcast,
-            Self::TreeBcast,
-            Self::TwoPhaseBcast,
-            Self::Ring,
-        ]
+        [Self::StarBcast, Self::ChainBcast, Self::TreeBcast, Self::TwoPhaseBcast, Self::Ring]
     }
 
     /// Every AllReduce variant the paper discusses.
@@ -166,14 +160,7 @@ impl Reduce2dAlgorithm {
 
     /// Every 2D Reduce variant including X-Y Auto-Gen.
     pub fn all() -> [Reduce2dAlgorithm; 6] {
-        [
-            Self::XyStar,
-            Self::XyChain,
-            Self::XyTree,
-            Self::XyTwoPhase,
-            Self::XyAutoGen,
-            Self::Snake,
-        ]
+        [Self::XyStar, Self::XyChain, Self::XyTree, Self::XyTwoPhase, Self::XyAutoGen, Self::Snake]
     }
 
     /// Name as used in the paper's figures.
@@ -239,6 +226,74 @@ pub struct Best<A> {
     pub algorithm: A,
     /// Its predicted runtime in cycles.
     pub cycles: f64,
+}
+
+/// The algorithm family a [`Choice`] refers to.
+///
+/// Plan generators (the `Schedule::Auto` path of `wse-collectives`) consume
+/// this structured form instead of parsing algorithm names.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChosenAlgorithm {
+    /// A 1D Reduce algorithm.
+    Reduce1d(Reduce1dAlgorithm),
+    /// A 1D AllReduce algorithm.
+    AllReduce1d(AllReduce1dAlgorithm),
+    /// A 2D Reduce algorithm.
+    Reduce2d(Reduce2dAlgorithm),
+    /// A 2D Reduce algorithm followed by the 2D flooding Broadcast.
+    AllReduce2d(Reduce2dAlgorithm),
+}
+
+impl ChosenAlgorithm {
+    /// Name as used in the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Reduce1d(a) => a.name(),
+            Self::AllReduce1d(a) => a.name(),
+            Self::Reduce2d(a) | Self::AllReduce2d(a) => a.name(),
+        }
+    }
+}
+
+/// A structured model decision: which algorithm to run and the runtime the
+/// model predicts for it. This is the §1.3/§10 "model → select" step as a
+/// value that code generation can consume directly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Choice {
+    /// The selected algorithm.
+    pub algorithm: ChosenAlgorithm,
+    /// Predicted runtime in cycles for the selected algorithm.
+    pub predicted_cycles: f64,
+}
+
+/// The model's choice of fixed 1D Reduce algorithm for `(p, b)`.
+pub fn choose_reduce_1d(p: u64, b: u64, machine: &Machine) -> Choice {
+    let best = best_fixed_reduce_1d(p, b, machine);
+    Choice { algorithm: ChosenAlgorithm::Reduce1d(best.algorithm), predicted_cycles: best.cycles }
+}
+
+/// The model's choice of fixed 1D AllReduce algorithm for `(p, b)`.
+pub fn choose_allreduce_1d(p: u64, b: u64, machine: &Machine) -> Choice {
+    let best = best_fixed_allreduce_1d(p, b, machine);
+    Choice {
+        algorithm: ChosenAlgorithm::AllReduce1d(best.algorithm),
+        predicted_cycles: best.cycles,
+    }
+}
+
+/// The model's choice of fixed 2D Reduce algorithm for an `m × n` grid.
+pub fn choose_reduce_2d(m_rows: u64, n_cols: u64, b: u64, machine: &Machine) -> Choice {
+    let best = best_fixed_reduce_2d(m_rows, n_cols, b, machine);
+    Choice { algorithm: ChosenAlgorithm::Reduce2d(best.algorithm), predicted_cycles: best.cycles }
+}
+
+/// The model's choice of fixed 2D AllReduce algorithm for an `m × n` grid.
+pub fn choose_allreduce_2d(m_rows: u64, n_cols: u64, b: u64, machine: &Machine) -> Choice {
+    let best = best_fixed_allreduce_2d(m_rows, n_cols, b, machine);
+    Choice {
+        algorithm: ChosenAlgorithm::AllReduce2d(best.algorithm),
+        predicted_cycles: best.cycles,
+    }
 }
 
 /// The fixed 1D Reduce algorithm the model predicts to be fastest.
@@ -343,10 +398,7 @@ mod tests {
         // Chain excels for very large vectors.
         assert_eq!(best_fixed_reduce_1d(16, 8192, &m).algorithm, Reduce1dAlgorithm::Chain);
         // Two-Phase is effective when P ≈ B.
-        assert_eq!(
-            best_fixed_reduce_1d(256, 256, &m).algorithm,
-            Reduce1dAlgorithm::TwoPhase
-        );
+        assert_eq!(best_fixed_reduce_1d(256, 256, &m).algorithm, Reduce1dAlgorithm::TwoPhase);
         // Tree is effective for small (but not scalar) vectors on many PEs.
         assert_eq!(best_fixed_reduce_1d(512, 8, &m).algorithm, Reduce1dAlgorithm::Tree);
     }
@@ -391,18 +443,12 @@ mod tests {
     #[test]
     fn snake_wins_small_grids_xy_two_phase_wins_large_grids() {
         let m = mach();
-        assert_eq!(
-            best_fixed_reduce_2d(4, 4, 4096, &m).algorithm,
-            Reduce2dAlgorithm::Snake
-        );
+        assert_eq!(best_fixed_reduce_2d(4, 4, 4096, &m).algorithm, Reduce2dAlgorithm::Snake);
         assert_eq!(
             best_fixed_reduce_2d(512, 512, 256, &m).algorithm,
             Reduce2dAlgorithm::XyTwoPhase
         );
-        assert_eq!(
-            best_fixed_reduce_2d(512, 512, 1, &m).algorithm,
-            Reduce2dAlgorithm::XyTree
-        );
+        assert_eq!(best_fixed_reduce_2d(512, 512, 1, &m).algorithm, Reduce2dAlgorithm::XyTree);
     }
 
     #[test]
@@ -426,19 +472,32 @@ mod tests {
         let solver = AutogenSolver::new(p);
         let lb = lower_bound::LowerBound1d::new(p);
         for b in [1u64, 8, 64, 512, 4096] {
-            let auto = optimality_ratio_1d(
-                Reduce1dAlgorithm::AutoGen,
-                p,
-                b,
-                &m,
-                Some(&solver),
-                Some(&lb),
-            );
+            let auto =
+                optimality_ratio_1d(Reduce1dAlgorithm::AutoGen, p, b, &m, Some(&solver), Some(&lb));
             for alg in Reduce1dAlgorithm::fixed() {
                 let fixed = optimality_ratio_1d(alg, p, b, &m, None, Some(&lb));
                 assert!(auto <= fixed + 1e-9, "b={b}: auto {auto} vs {:?} {fixed}", alg);
             }
         }
+    }
+
+    #[test]
+    fn structured_choices_match_best_queries() {
+        let m = mach();
+        let c = choose_reduce_1d(256, 256, &m);
+        assert!(matches!(c.algorithm, ChosenAlgorithm::Reduce1d(Reduce1dAlgorithm::TwoPhase)));
+        assert_eq!(c.algorithm.name(), "Two-Phase");
+        assert!((c.predicted_cycles - best_fixed_reduce_1d(256, 256, &m).cycles).abs() < 1e-12);
+
+        let c = choose_allreduce_1d(4, 8192, &m);
+        assert!(matches!(c.algorithm, ChosenAlgorithm::AllReduce1d(AllReduce1dAlgorithm::Ring)));
+
+        let c = choose_reduce_2d(4, 4, 4096, &m);
+        assert!(matches!(c.algorithm, ChosenAlgorithm::Reduce2d(Reduce2dAlgorithm::Snake)));
+
+        let c = choose_allreduce_2d(8, 8, 64, &m);
+        assert!(matches!(c.algorithm, ChosenAlgorithm::AllReduce2d(_)));
+        assert!(c.predicted_cycles > 0.0);
     }
 
     #[test]

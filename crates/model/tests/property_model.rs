@@ -77,7 +77,7 @@ proptest! {
         if let (Some(a), Some(b)) = (larger.scalar_energy(d), smaller.scalar_energy(d.min(p - 2).max(1))) {
             prop_assert!(a >= b);
         }
-        if d + 1 <= p - 1 {
+        if d < p - 1 {
             if let (Some(e1), Some(e2)) = (larger.scalar_energy(d), larger.scalar_energy(d + 1)) {
                 prop_assert!(e2 <= e1);
             }

@@ -35,7 +35,9 @@ fn main() {
         println!();
     }
 
-    // Validate the ranking on the simulator for one column: P = 32 PEs.
+    // Validate the ranking on the simulator for one column: P = 32 PEs. A
+    // session keeps one 32-PE fabric alive across all five candidates.
+    let mut session = Session::new();
     let p: u32 = 32;
     let bytes = 1024u64;
     let b = wse_model::sweep::bytes_to_wavelets(bytes) as u32;
@@ -44,9 +46,9 @@ fn main() {
     let expected = expected_reduce(&inputs, ReduceOp::Sum);
     let mut results: Vec<(String, u64, f64)> = Vec::new();
     for pattern in ReducePattern::all() {
-        let plan =
-            allreduce_1d_plan(AllReducePattern::ReduceBroadcast(pattern), p, b, ReduceOp::Sum, &machine);
-        let outcome = run_plan(&plan, &inputs, &RunConfig::default()).expect("plan runs");
+        let request = CollectiveRequest::allreduce(Topology::line(p), b)
+            .with_schedule(Schedule::AllReduce1d(AllReducePattern::ReduceBroadcast(pattern)));
+        let outcome = session.run(&request, &inputs).expect("plan runs");
         assert_outputs_close(&outcome, &expected, 1e-3);
         let predicted = wse_model::costs_1d::reduce_then_broadcast(
             pattern.model_algorithm().cycles(p as u64, b as u64, &machine, None),
@@ -62,8 +64,7 @@ fn main() {
         println!("{name:<20} {measured:>12} {predicted:>12.0} {err:>9.1}%");
     }
     let best_measured = results.iter().min_by_key(|(_, m, _)| *m).unwrap();
-    let best_predicted =
-        results.iter().min_by(|a, b| a.2.partial_cmp(&b.2).unwrap()).unwrap();
+    let best_predicted = results.iter().min_by(|a, b| a.2.partial_cmp(&b.2).unwrap()).unwrap();
     println!(
         "\nfastest measured: {} — fastest predicted: {}{}",
         best_measured.0,

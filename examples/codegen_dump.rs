@@ -53,7 +53,10 @@ fn main() {
         println!("{}", generated.layout);
         for coord in [Coord::new(0, 0), Coord::new((p / 2) as u32, 0)] {
             if let Some(src) = generated.source_of(coord) {
-                println!("--- pe_{}_{}.csl -------------------------------------------", coord.x, coord.y);
+                println!(
+                    "--- pe_{}_{}.csl -------------------------------------------",
+                    coord.x, coord.y
+                );
                 println!("{src}");
             }
         }

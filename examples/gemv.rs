@@ -16,7 +16,7 @@ use wse_collectives::prelude::*;
 use wse_examples::{print_run_summary, sample_value, sample_vector};
 
 fn main() {
-    let machine = Machine::wse2();
+    let mut session = Session::new();
     let p: u32 = 32; // PEs in the row
     let m: usize = 256; // rows of A  (= length of the reduced vector, 1 KB)
     let n: usize = 512; // columns of A, split over the PEs
@@ -44,7 +44,9 @@ fn main() {
     }
 
     // The local compute is done; the communication step is an AllReduce of
-    // the partial y vectors. Compare three ways of doing it.
+    // the partial y vectors. Compare three ways of doing it — the session
+    // caches each candidate's plan, which is what an iterative solver doing
+    // this AllReduce every step would want.
     let b = m as u32;
     let candidates = [
         ("vendor Chain+Bcast", AllReducePattern::ReduceBroadcast(ReducePattern::Chain)),
@@ -53,28 +55,35 @@ fn main() {
     ];
     let mut vendor_cycles = None;
     for (label, pattern) in candidates {
-        let plan = allreduce_1d_plan(pattern, p, b, ReduceOp::Sum, &machine);
-        let outcome = run_plan(&plan, &partials, &RunConfig::default()).expect("plan runs");
+        let request = CollectiveRequest::allreduce(Topology::line(p), b)
+            .with_schedule(Schedule::AllReduce1d(pattern));
+        let resolved = session.plan(&request).expect("request resolves");
+        let outcome = session.run(&request, &partials).expect("plan runs");
         assert_outputs_close(&outcome, &reference, 1e-3);
         let cycles = outcome.runtime_cycles();
         if vendor_cycles.is_none() {
             vendor_cycles = Some(cycles);
         }
-        print_run_summary(&format!("y = A x AllReduce / {label}"), &plan, cycles);
+        print_run_summary(&format!("y = A x AllReduce / {label}"), &resolved.plan, cycles);
         if let Some(vendor) = vendor_cycles {
             if vendor != cycles {
-                println!("{:<40} {:>9.2}x speedup over the vendor chain", "", vendor as f64 / cycles as f64);
+                println!(
+                    "{:<40} {:>9.2}x speedup over the vendor chain",
+                    "",
+                    vendor as f64 / cycles as f64
+                );
             }
         }
     }
 
     // What does the model recommend for this shape?
-    let selected = select_allreduce_1d(p, b, ReduceOp::Sum, &machine);
+    let auto = CollectiveRequest::allreduce(Topology::line(p), b);
+    let resolved = session.plan(&auto).expect("auto request resolves");
     println!(
         "\nmodel recommendation for P={p}, B={} bytes: {} (predicted {:.0} cycles)",
         b * 4,
-        selected.algorithm,
-        selected.predicted_cycles
+        resolved.algorithm,
+        resolved.predicted_cycles().unwrap_or_default()
     );
     println!("GEMV result verified against the serial reference on every PE.");
 }

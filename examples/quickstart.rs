@@ -2,9 +2,12 @@
 //!
 //! Demonstrates the basic workflow of the library:
 //!
-//! 1. pick an algorithm (by hand or via the performance model),
-//! 2. build its plan (the generated per-PE code and routing),
-//! 3. run it on the cycle-level fabric simulator,
+//! 1. describe the collective as a `CollectiveRequest` (explicit pattern or
+//!    model-driven `Schedule::Auto`),
+//! 2. let a `Session` resolve it — plan generation goes through the session's
+//!    plan cache, so repeated requests are served without regenerating code,
+//! 3. run it on the cycle-level fabric simulator (the session reuses one
+//!    resettable fabric instead of allocating a mesh per run),
 //! 4. compare the measured cycles with the model prediction.
 //!
 //! Run with `cargo run --release -p wse-examples --bin quickstart`.
@@ -13,9 +16,9 @@ use wse_collectives::prelude::*;
 use wse_examples::{print_run_summary, sample_vector};
 
 fn main() {
-    let machine = Machine::wse2();
     let p: u32 = 64; // PEs in the row
     let b: u32 = 256; // 1 KB of f32 values per PE
+    let mut session = Session::new();
 
     println!("# Wafer-scale Reduce quickstart: {p} PEs, {} bytes per PE\n", b * 4);
 
@@ -24,31 +27,46 @@ fn main() {
 
     // 1. Every fixed pattern of the paper, plus the Auto-Gen schedule.
     for pattern in ReducePattern::all() {
-        let plan = reduce_1d_plan(pattern, p, b, ReduceOp::Sum, &machine);
-        let outcome = run_plan(&plan, &inputs, &RunConfig::default()).expect("plan runs");
+        let request = CollectiveRequest::reduce(Topology::line(p), b)
+            .with_schedule(Schedule::Reduce1d(pattern));
+        let resolved = session.plan(&request).expect("request resolves");
+        let outcome = session.run(&request, &inputs).expect("plan runs");
         assert_outputs_close(&outcome, &expected, 1e-4);
-        let predicted = pattern.model_algorithm().cycles(p as u64, b as u64, &machine, None);
+        let predicted =
+            pattern.model_algorithm().cycles(p as u64, b as u64, session.machine(), None);
         print_run_summary(
             &format!("Reduce / {}", pattern.name()),
-            &plan,
+            &resolved.plan,
             outcome.runtime_cycles(),
         );
         println!("{:<40} {predicted:>10.0} cycles (model prediction)", "");
     }
 
-    // 2. Model-driven selection: let the model pick the fixed algorithm.
-    let selected = select_reduce_1d(p, b, ReduceOp::Sum, &machine);
-    println!("\nmodel-selected fixed algorithm: {}", selected.algorithm);
+    // 2. Model-driven selection: the same request with `Schedule::Auto` (the
+    //    default) lets the model pick the fixed algorithm.
+    let auto_reduce = CollectiveRequest::reduce(Topology::line(p), b);
+    let resolved = session.plan(&auto_reduce).expect("auto request resolves");
+    println!("\nmodel-selected fixed algorithm: {}", resolved.algorithm);
 
-    // 3. AllReduce: reduce-then-broadcast with the selected pattern.
-    let allreduce = select_allreduce_1d(p, b, ReduceOp::Sum, &machine);
-    let outcome = run_plan(&allreduce.plan, &inputs, &RunConfig::default()).expect("plan runs");
-    assert_outputs_close(&outcome, &expected, 1e-4);
+    // 3. AllReduce with model-driven selection, run repeatedly: the second
+    //    and third runs are answered from the plan cache.
+    let allreduce = CollectiveRequest::allreduce(Topology::line(p), b);
+    for _ in 0..3 {
+        let outcome = session.run(&allreduce, &inputs).expect("plan runs");
+        assert_outputs_close(&outcome, &expected, 1e-4);
+    }
+    let resolved = session.plan(&allreduce).expect("cached");
+    let outcome = session.run(&allreduce, &inputs).expect("plan runs");
     print_run_summary(
-        &format!("AllReduce / {}", allreduce.algorithm),
-        &allreduce.plan,
+        &format!("AllReduce / {}", resolved.algorithm),
+        &resolved.plan,
         outcome.runtime_cycles(),
     );
 
-    println!("\nAll results verified against a serial reference reduction.");
+    let stats = session.stats();
+    println!(
+        "\nsession: {} plans generated, {} cache hits, {} runs on {} fabrics",
+        stats.plan_misses, stats.plan_hits, stats.runs, stats.fabrics_created
+    );
+    println!("All results verified against a serial reference reduction.");
 }

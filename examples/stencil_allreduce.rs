@@ -17,7 +17,7 @@ use wse_collectives::prelude::*;
 use wse_examples::sample_vector;
 
 fn main() {
-    let machine = Machine::wse2();
+    let mut session = Session::new();
     let dim = GridDim::new(8, 8);
     let pes = dim.num_pes();
     // Each PE owns a block of the field; per iteration it contributes a short
@@ -50,9 +50,14 @@ fn main() {
         let reference_sum = expected_reduce(&reference_state, ReduceOp::Sum);
 
         for (slot, (label, pattern)) in candidates.iter().enumerate() {
-            let plan = allreduce_2d_plan(*pattern, dim, quantities, ReduceOp::Sum, &machine);
-            let outcome = run_plan(&plan, &state, &RunConfig::default())
-                .unwrap_or_else(|e| panic!("{label} failed: {e}"));
+            // The session's plan cache means each candidate's plan is
+            // generated in iteration 0 and merely looked up afterwards —
+            // exactly what a solver issuing the same AllReduce every
+            // iteration needs.
+            let request = CollectiveRequest::allreduce(Topology::Grid(dim), quantities)
+                .with_schedule(Schedule::AllReduce2d(*pattern));
+            let outcome =
+                session.run(&request, &state).unwrap_or_else(|e| panic!("{label} failed: {e}"));
             assert_outputs_close(&outcome, &reference_sum, 1e-3);
             totals[slot] += outcome.runtime_cycles();
         }
@@ -74,15 +79,22 @@ fn main() {
         let avg = *total as f64 / iterations as f64;
         println!(
             "{label:<28} {avg:>10.0} cycles  ({:>6.3} us, {:>5.2}x vs. star-based)",
-            machine.cycles_to_us(avg),
+            session.machine().cycles_to_us(avg),
             baseline / avg
         );
     }
 
-    let selected = select_allreduce_2d(dim, quantities, ReduceOp::Sum, &machine);
+    let auto = CollectiveRequest::allreduce(Topology::Grid(dim), quantities);
+    let resolved = session.plan(&auto).expect("auto request resolves");
     println!(
         "\nmodel recommendation for this shape: {} (predicted {:.0} cycles)",
-        selected.algorithm, selected.predicted_cycles
+        resolved.algorithm,
+        resolved.predicted_cycles().unwrap_or_default()
+    );
+    let stats = session.stats();
+    println!(
+        "session amortisation: {} plans generated for {} runs ({} cache hits), {} fabric reuses",
+        stats.plan_misses, stats.runs, stats.plan_hits, stats.fabric_reuses
     );
     println!("All iterations produced residuals identical to the serial reference.");
 }

@@ -3,7 +3,7 @@
 //! verified against a serial reference.
 
 use wse_collectives::prelude::*;
-use wse_integration_tests::{deterministic_inputs, run_and_verify};
+use wse_integration_tests::{deterministic_inputs, run_and_verify, session_run_and_verify};
 use wse_model::Machine;
 
 fn machine() -> Machine {
@@ -12,26 +12,30 @@ fn machine() -> Machine {
 
 #[test]
 fn all_reduce_patterns_are_correct_across_shapes() {
-    let m = machine();
+    let mut session = Session::new();
     for (p, b) in [(4u32, 1u32), (7, 16), (16, 64), (33, 128), (64, 256)] {
         for pattern in ReducePattern::all() {
-            let plan = reduce_1d_plan(pattern, p, b, ReduceOp::Sum, &m);
-            run_and_verify(&plan, ReduceOp::Sum);
+            let request = CollectiveRequest::reduce(Topology::line(p), b)
+                .with_schedule(Schedule::Reduce1d(pattern));
+            session_run_and_verify(&mut session, &request);
         }
     }
+    // 25 distinct (shape, pattern) requests, each planned exactly once.
+    assert_eq!(session.stats().plan_misses, 25);
 }
 
 #[test]
 fn all_allreduce_patterns_are_correct_across_shapes() {
-    let m = machine();
+    let mut session = Session::new();
     for (p, b) in [(4u32, 8u32), (8, 64), (16, 32)] {
         for pattern in ReducePattern::all() {
-            let plan =
-                allreduce_1d_plan(AllReducePattern::ReduceBroadcast(pattern), p, b, ReduceOp::Sum, &m);
-            run_and_verify(&plan, ReduceOp::Sum);
+            let request = CollectiveRequest::allreduce(Topology::line(p), b)
+                .with_schedule(Schedule::AllReduce1d(AllReducePattern::ReduceBroadcast(pattern)));
+            session_run_and_verify(&mut session, &request);
         }
-        let ring = allreduce_1d_plan(AllReducePattern::Ring, p, b, ReduceOp::Sum, &m);
-        run_and_verify(&ring, ReduceOp::Sum);
+        let ring = CollectiveRequest::allreduce(Topology::line(p), b)
+            .with_schedule(Schedule::AllReduce1d(AllReducePattern::Ring));
+        session_run_and_verify(&mut session, &ring);
     }
 }
 
@@ -77,9 +81,18 @@ fn measured_contention_matches_the_model_terms() {
 fn autogen_matches_or_beats_fixed_patterns_on_the_simulator() {
     let m = machine();
     for (p, b) in [(16u32, 4u32), (32, 64), (48, 512)] {
-        let auto = run_and_verify(&reduce_1d_plan(ReducePattern::AutoGen, p, b, ReduceOp::Sum, &m), ReduceOp::Sum);
-        for pattern in [ReducePattern::Star, ReducePattern::Chain, ReducePattern::Tree, ReducePattern::TwoPhase] {
-            let fixed = run_and_verify(&reduce_1d_plan(pattern, p, b, ReduceOp::Sum, &m), ReduceOp::Sum);
+        let auto = run_and_verify(
+            &reduce_1d_plan(ReducePattern::AutoGen, p, b, ReduceOp::Sum, &m),
+            ReduceOp::Sum,
+        );
+        for pattern in [
+            ReducePattern::Star,
+            ReducePattern::Chain,
+            ReducePattern::Tree,
+            ReducePattern::TwoPhase,
+        ] {
+            let fixed =
+                run_and_verify(&reduce_1d_plan(pattern, p, b, ReduceOp::Sum, &m), ReduceOp::Sum);
             assert!(
                 auto as f64 <= fixed as f64 * 1.10 + 24.0,
                 "p={p} b={b}: Auto-Gen {auto} should not lose to {} ({fixed})",
@@ -105,12 +118,17 @@ fn color_budget_stays_within_the_hardware_limit() {
     for pattern in ReducePattern::all() {
         let reduce = reduce_1d_plan(pattern, 32, 64, ReduceOp::Sum, &m);
         assert!(reduce.colors_used().len() <= 2);
-        let allreduce =
-            allreduce_1d_plan(AllReducePattern::ReduceBroadcast(pattern), 32, 64, ReduceOp::Sum, &m);
+        let allreduce = allreduce_1d_plan(
+            AllReducePattern::ReduceBroadcast(pattern),
+            32,
+            64,
+            ReduceOp::Sum,
+            &m,
+        );
         assert!(allreduce.colors_used().len() <= 3);
     }
-    assert!(allreduce_1d_plan(AllReducePattern::Ring, 8, 64, ReduceOp::Sum, &m)
-        .colors_used()
-        .len()
-        <= 3);
+    assert!(
+        allreduce_1d_plan(AllReducePattern::Ring, 8, 64, ReduceOp::Sum, &m).colors_used().len()
+            <= 3
+    );
 }

@@ -1,7 +1,7 @@
 //! End-to-end integration tests for the 2D collectives of §7.
 
 use wse_collectives::prelude::*;
-use wse_integration_tests::{deterministic_inputs, run_and_verify};
+use wse_integration_tests::{deterministic_inputs, run_and_verify, session_run_and_verify};
 use wse_model::Machine;
 
 fn machine() -> Machine {
@@ -21,22 +21,27 @@ fn all_2d_patterns() -> Vec<Reduce2dPattern> {
 
 #[test]
 fn reduce_2d_is_correct_on_rectangular_grids() {
-    let m = machine();
+    let mut session = Session::new();
     for (w, h) in [(4u32, 4u32), (6, 3), (2, 8), (5, 5)] {
         for pattern in all_2d_patterns() {
-            let plan = reduce_2d_plan(pattern, GridDim::new(w, h), 12, ReduceOp::Sum, &m);
-            run_and_verify(&plan, ReduceOp::Sum);
+            let request = CollectiveRequest::reduce(Topology::grid(w, h), 12)
+                .with_schedule(Schedule::Reduce2d(pattern));
+            session_run_and_verify(&mut session, &request);
         }
     }
+    // One fabric per distinct grid shape, reused across all six patterns.
+    assert_eq!(session.stats().fabrics_created, 4);
 }
 
 #[test]
 fn allreduce_2d_is_correct_and_uses_at_most_five_colors() {
-    let m = machine();
+    let mut session = Session::new();
     for pattern in all_2d_patterns() {
-        let plan = allreduce_2d_plan(pattern, GridDim::new(4, 6), 16, ReduceOp::Sum, &m);
-        assert!(plan.colors_used().len() <= 5, "{}", plan.name());
-        run_and_verify(&plan, ReduceOp::Sum);
+        let request = CollectiveRequest::allreduce(Topology::grid(4, 6), 16)
+            .with_schedule(Schedule::AllReduce2d(pattern));
+        let resolved = session.plan(&request).unwrap();
+        assert!(resolved.plan.colors_used().len() <= 5, "{}", resolved.plan.name());
+        session_run_and_verify(&mut session, &request);
     }
 }
 
@@ -96,10 +101,11 @@ fn xy_two_phase_beats_snake_on_wide_grids_with_short_vectors() {
 
 #[test]
 fn selected_2d_allreduce_is_correct_for_several_shapes() {
-    let m = machine();
+    let mut session = Session::new();
     for (side, b) in [(4u32, 64u32), (8, 16), (6, 128)] {
-        let dim = GridDim::new(side, side);
-        let selected = select_allreduce_2d(dim, b, ReduceOp::Sum, &m);
-        run_and_verify(&selected.plan, ReduceOp::Sum);
+        let request = CollectiveRequest::allreduce(Topology::grid(side, side), b);
+        let resolved = session.plan(&request).unwrap();
+        assert!(resolved.choice.is_some(), "auto requests record the model's choice");
+        session_run_and_verify(&mut session, &request);
     }
 }

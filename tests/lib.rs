@@ -19,3 +19,20 @@ pub fn run_and_verify(plan: &CollectivePlan, op: ReduceOp) -> u64 {
     assert_outputs_close(&outcome, &expected, 1e-3);
     outcome.runtime_cycles()
 }
+
+/// Resolve and run a request on a session with deterministic inputs, assert
+/// the result matches the serial reference, and return the runtime in cycles.
+///
+/// Broadcast requests take a single input vector (the root's) and expect it
+/// verbatim on every result PE; Reduce/AllReduce take one vector per PE and
+/// are checked against the serial reference reduction.
+pub fn session_run_and_verify(session: &mut Session, request: &CollectiveRequest) -> u64 {
+    let sources =
+        if request.kind == CollectiveKind::Broadcast { 1 } else { request.topology.num_pes() };
+    let inputs = deterministic_inputs(sources, request.vector_len as usize);
+    let outcome =
+        session.run(request, &inputs).unwrap_or_else(|e| panic!("request {request:?} failed: {e}"));
+    let expected = expected_reduce(&inputs, request.op);
+    assert_outputs_close(&outcome, &expected, 1e-3);
+    outcome.runtime_cycles()
+}

@@ -25,14 +25,19 @@ fn calibrated_measurement_matches_plain_runtime_in_1d() {
     let measured = measured_run(&plan, &inputs, &config).unwrap();
     assert!(measured.calibration.measurement.start_spread <= 57, "start spread too large");
     let diff = (measured.duration() as f64 - plain as f64).abs();
-    assert!(diff <= plain as f64 * 0.15 + 32.0, "measured {} vs plain {plain}", measured.duration());
+    assert!(
+        diff <= plain as f64 * 0.15 + 32.0,
+        "measured {} vs plain {plain}",
+        measured.duration()
+    );
 }
 
 #[test]
 fn calibrated_measurement_matches_plain_runtime_in_2d() {
     let m = Machine::wse2();
     let dim = GridDim::new(6, 6);
-    let plan = reduce_2d_plan(Reduce2dPattern::Xy(ReducePattern::TwoPhase), dim, 32, ReduceOp::Sum, &m);
+    let plan =
+        reduce_2d_plan(Reduce2dPattern::Xy(ReducePattern::TwoPhase), dim, 32, ReduceOp::Sum, &m);
     let plain = plain_runtime(&plan);
     let inputs = deterministic_inputs(plan.data_pes().len(), plan.vector_len() as usize);
 

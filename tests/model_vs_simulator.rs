@@ -27,10 +27,14 @@ fn broadcast_prediction_error_is_small() {
         let path = LinePath::row(GridDim::row(p), 0);
         let plan = flood_broadcast_plan(&path, b, wse_fabric::wavelet::Color::new(0));
         let inputs = deterministic_inputs(1, b as usize);
-        let measured = run_plan(&plan, &inputs, &RunConfig::default()).unwrap().runtime_cycles() as f64;
+        let measured =
+            run_plan(&plan, &inputs, &RunConfig::default()).unwrap().runtime_cycles() as f64;
         let predicted = costs_1d::broadcast(p as u64, b as u64).predict(&m);
         let err = (measured - predicted).abs() / measured;
-        assert!(err < 0.25, "p={p} b={b}: measured {measured}, predicted {predicted}, err {err:.2}");
+        assert!(
+            err < 0.25,
+            "p={p} b={b}: measured {measured}, predicted {predicted}, err {err:.2}"
+        );
     }
 }
 
@@ -80,8 +84,7 @@ fn model_ranks_algorithms_consistently_with_the_simulator() {
         // The algorithm the model predicts to be fastest must be measured to
         // be within a small margin of the actually fastest one (§8.5).
         let model_choice = predicted[0].0;
-        let measured_of_choice =
-            measured.iter().find(|(pat, _)| *pat == model_choice).unwrap().1;
+        let measured_of_choice = measured.iter().find(|(pat, _)| *pat == model_choice).unwrap().1;
         let fastest_measured = measured[0].1;
         assert!(
             measured_of_choice <= fastest_measured * 1.15 + 120.0,
@@ -117,8 +120,14 @@ fn two_dimensional_predictions_track_the_simulator() {
     let dim = GridDim::new(8, 8);
     let b = 64u32;
     let cases = [
-        (Reduce2dPattern::Xy(ReducePattern::Chain), costs_2d::xy_reduce(8, 8, b as u64, costs_2d::Phase1d::Chain, &m)),
-        (Reduce2dPattern::Xy(ReducePattern::TwoPhase), costs_2d::xy_reduce(8, 8, b as u64, costs_2d::Phase1d::TwoPhase, &m)),
+        (
+            Reduce2dPattern::Xy(ReducePattern::Chain),
+            costs_2d::xy_reduce(8, 8, b as u64, costs_2d::Phase1d::Chain, &m),
+        ),
+        (
+            Reduce2dPattern::Xy(ReducePattern::TwoPhase),
+            costs_2d::xy_reduce(8, 8, b as u64, costs_2d::Phase1d::TwoPhase, &m),
+        ),
         (Reduce2dPattern::Snake, costs_2d::snake_reduce(8, 8, b as u64, &m)),
     ];
     for (pattern, predicted) in cases {

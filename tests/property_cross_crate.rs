@@ -14,7 +14,6 @@ fn machine() -> Machine {
     Machine::wse2()
 }
 
-
 fn pattern_strategy() -> impl Strategy<Value = ReducePattern> {
     prop_oneof![
         Just(ReducePattern::Star),
@@ -148,7 +147,7 @@ proptest! {
     ) {
         let path = LinePath::row(GridDim::row(p), 0);
         let plan = flood_broadcast_plan(&path, data.len() as u32, wse_fabric::wavelet::Color::new(0));
-        let outcome = run_plan(&plan, &[data.clone()], &RunConfig::default()).unwrap();
+        let outcome = run_plan(&plan, std::slice::from_ref(&data), &RunConfig::default()).unwrap();
         for (_, out) in &outcome.outputs {
             prop_assert_eq!(out, &data);
         }

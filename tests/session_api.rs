@@ -1,0 +1,152 @@
+//! Integration tests of the unified request API and execution sessions: the
+//! "build once, select by model, execute many times" workflow, its plan
+//! cache, and its equivalence with the one-shot free functions.
+
+use proptest::prelude::*;
+
+use wse_collectives::prelude::*;
+use wse_integration_tests::deterministic_inputs;
+
+/// Acceptance scenario: one session, three distinct requests, each run
+/// several times — plan generation must happen exactly once per distinct
+/// request, every output must match the serial reference, and the fabric
+/// must be reused across runs of the same shape.
+#[test]
+fn one_session_many_requests_amortises_plan_generation() {
+    let mut session = Session::new();
+    let runs_per_request = 3;
+
+    let requests = [
+        CollectiveRequest::reduce(Topology::line(16), 64)
+            .with_schedule(Schedule::Reduce1d(ReducePattern::TwoPhase)),
+        CollectiveRequest::allreduce(Topology::line(16), 64),
+        CollectiveRequest::reduce(Topology::grid(4, 4), 32),
+    ];
+
+    for round in 0..runs_per_request {
+        for request in &requests {
+            let inputs =
+                deterministic_inputs(request.topology.num_pes(), request.vector_len as usize);
+            let outcome = session
+                .run(request, &inputs)
+                .unwrap_or_else(|e| panic!("round {round}: {request:?} failed: {e}"));
+            let expected = expected_reduce(&inputs, request.op);
+            assert_outputs_close(&outcome, &expected, 1e-4);
+        }
+    }
+
+    let stats = session.stats();
+    assert_eq!(
+        stats.plan_misses, 3,
+        "plan generation must happen exactly once per distinct request"
+    );
+    assert_eq!(stats.plan_hits, (runs_per_request - 1) * requests.len() as u64);
+    assert_eq!(stats.runs, runs_per_request * requests.len() as u64);
+    // Two grid shapes (16x1 line and 4x4 grid) -> two fabrics, every other
+    // run reuses one of them.
+    assert_eq!(stats.fabrics_created, 2);
+    assert_eq!(stats.fabric_reuses, stats.runs - stats.fabrics_created);
+}
+
+#[test]
+fn auto_schedules_cache_the_model_choice() {
+    let mut session = Session::new();
+    let request = CollectiveRequest::allreduce(Topology::line(32), 256);
+    let first = session.plan(&request).expect("auto request resolves");
+    let again = session.plan(&request).expect("cached request resolves");
+    assert!(first.choice.is_some(), "auto resolution records the model choice");
+    assert!(std::sync::Arc::ptr_eq(&first, &again));
+    assert_eq!(session.stats().plan_misses, 1);
+    assert_eq!(session.stats().plan_hits, 1);
+}
+
+#[test]
+fn session_agrees_with_legacy_free_functions() {
+    // The legacy shims and the session path must produce identical plans and
+    // identical results for the model-selected algorithm.
+    let machine = Machine::wse2();
+    let mut session = Session::new();
+    for (p, b) in [(8u32, 16u32), (16, 128)] {
+        let legacy = select_reduce_1d(p, b, ReduceOp::Sum, &machine);
+        let request = CollectiveRequest::reduce(Topology::line(p), b);
+        let resolved = session.plan(&request).unwrap();
+        assert_eq!(legacy.plan, resolved.plan, "p={p} b={b}");
+        assert_eq!(legacy.algorithm, resolved.algorithm);
+
+        let inputs = deterministic_inputs(p as usize, b as usize);
+        let legacy_outcome = run_plan(&legacy.plan, &inputs, &RunConfig::default()).unwrap();
+        let session_outcome = session.run(&request, &inputs).unwrap();
+        assert_eq!(legacy_outcome.report, session_outcome.report);
+        assert_eq!(legacy_outcome.outputs, session_outcome.outputs);
+    }
+}
+
+fn schedule_strategy() -> impl Strategy<Value = Schedule> {
+    prop_oneof![
+        Just(Schedule::Auto),
+        Just(Schedule::Reduce1d(ReducePattern::Star)),
+        Just(Schedule::Reduce1d(ReducePattern::Chain)),
+        Just(Schedule::Reduce1d(ReducePattern::Tree)),
+        Just(Schedule::Reduce1d(ReducePattern::TwoPhase)),
+        Just(Schedule::Reduce1d(ReducePattern::AutoGen)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// A cache hit returns a plan byte-identical (same programs, same
+    /// routing scripts, same data/result PEs) to a cold build of the same
+    /// request.
+    #[test]
+    fn cache_hits_are_byte_identical_to_cold_builds(
+        p in 2u32..24,
+        b in 1u32..96,
+        schedule in schedule_strategy(),
+    ) {
+        let mut session = Session::new();
+        let request = CollectiveRequest::reduce(Topology::line(p), b).with_schedule(schedule);
+
+        session.plan(&request).unwrap();          // cold build, populates the cache
+        let hit = session.plan(&request).unwrap(); // cache hit
+        prop_assert_eq!(session.stats().plan_hits, 1);
+
+        let cold = request.resolve(&Machine::wse2()).unwrap(); // independent cold build
+        prop_assert_eq!(&hit.plan, &cold.plan);
+        prop_assert_eq!(&hit.algorithm, &cold.algorithm);
+    }
+
+    /// Session execution on a reused fabric matches the one-shot runner for
+    /// arbitrary shapes and schedules.
+    #[test]
+    fn session_runs_match_one_shot_runs(
+        p in 2u32..20,
+        b in 1u32..48,
+        schedule in schedule_strategy(),
+        seed in 0u64..1_000_000,
+    ) {
+        let request = CollectiveRequest::reduce(Topology::line(p), b).with_schedule(schedule);
+        let inputs: Vec<Vec<f32>> = (0..p as usize)
+            .map(|i| {
+                (0..b as usize)
+                    .map(|j| {
+                        let x = seed
+                            .wrapping_mul(0x9E3779B97F4A7C15)
+                            .wrapping_add((i * 1000 + j) as u64);
+                        ((x >> 40) as f32) / 1000.0 - 8.0
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let mut session = Session::new();
+        // Run twice so the second run exercises the reset-fabric path.
+        let _ = session.run(&request, &inputs).unwrap();
+        let session_outcome = session.run(&request, &inputs).unwrap();
+
+        let resolved = request.resolve(&Machine::wse2()).unwrap();
+        let one_shot = run_plan(&resolved.plan, &inputs, &RunConfig::default()).unwrap();
+        prop_assert_eq!(&session_outcome.report, &one_shot.report);
+        prop_assert_eq!(&session_outcome.outputs, &one_shot.outputs);
+    }
+}
