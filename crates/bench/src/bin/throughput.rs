@@ -1,0 +1,151 @@
+//! Batch-serving throughput: sequential `Session` loop vs. parallel
+//! `Executor` on a mixed batch of independent collective requests.
+//!
+//! The harness builds a batch of mixed kinds (Reduce / AllReduce /
+//! Broadcast), topologies (rows and grids) and vector lengths, runs it
+//! several times through both execution paths, verifies the executor's
+//! results are **byte-identical** to the sequential session's (outputs and
+//! `RunReport`s — the executor's determinism contract), and reports the
+//! wall-clock speedup.
+//!
+//! Flags:
+//!
+//! * `--quick`           smaller shapes and fewer repetitions (CI smoke run)
+//! * `--requests N`      batch size (default 32, minimum 16)
+//! * `--assert-speedup`  fail unless the speedup clears the bar for the
+//!   host's core count (≥ 2x on ≥ 4 cores, ≥ 1.2x on 2–3 cores; on a
+//!   single core only byte-identity is enforced — there is nothing to
+//!   parallelise against)
+
+use std::num::NonZeroUsize;
+use std::time::{Duration, Instant};
+
+use wse_bench::make_inputs;
+use wse_collectives::prelude::*;
+
+struct Options {
+    quick: bool,
+    requests: usize,
+    assert_speedup: bool,
+}
+
+impl Options {
+    fn from_args() -> Self {
+        let mut opts = Options { quick: false, requests: 32, assert_speedup: false };
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--quick" => opts.quick = true,
+                "--assert-speedup" => opts.assert_speedup = true,
+                "--requests" => {
+                    let value = args.next().expect("--requests needs a value");
+                    opts.requests = value.parse().expect("--requests needs an integer");
+                }
+                other => eprintln!(
+                    "ignoring unknown argument {other:?} \
+                     (supported: --quick, --requests N, --assert-speedup)"
+                ),
+            }
+        }
+        opts.requests = opts.requests.max(16);
+        opts
+    }
+}
+
+/// A deterministic mixed batch: every item is an independent request, with
+/// enough shape repetition that the plan cache and fabric pool both matter
+/// (as they would under real serving traffic).
+fn build_batch(n: usize, quick: bool) -> Vec<BatchItem> {
+    let lines: &[u32] = if quick { &[16, 24, 32] } else { &[32, 48, 64] };
+    let grids: &[(u32, u32)] = if quick { &[(5, 5), (6, 4)] } else { &[(8, 8), (10, 6)] };
+    let vector_lens: &[u32] = if quick { &[64, 128] } else { &[192, 256, 384] };
+    let mut batch = Vec::with_capacity(n);
+    for i in 0..n {
+        let b = vector_lens[i % vector_lens.len()];
+        let request = match i % 4 {
+            0 => CollectiveRequest::reduce(Topology::line(lines[i % lines.len()]), b),
+            1 => CollectiveRequest::allreduce(Topology::line(lines[i % lines.len()]), b),
+            2 => {
+                let (w, h) = grids[i % grids.len()];
+                CollectiveRequest::reduce(Topology::grid(w, h), b)
+            }
+            _ => CollectiveRequest::broadcast(Topology::line(lines[i % lines.len()]), b),
+        };
+        let sources =
+            if request.kind == CollectiveKind::Broadcast { 1 } else { request.topology.num_pes() };
+        batch.push(BatchItem::new(request, make_inputs(sources, b as usize)));
+    }
+    batch
+}
+
+fn unwrap_outcomes(results: Vec<Result<RunOutcome, CollectiveError>>) -> Vec<RunOutcome> {
+    results
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| r.unwrap_or_else(|e| panic!("batch item {i} failed: {e}")))
+        .collect()
+}
+
+fn main() {
+    let opts = Options::from_args();
+    let batch = build_batch(opts.requests, opts.quick);
+    let repetitions = if opts.quick { 2 } else { 3 };
+    let cores = std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1);
+
+    // Reference pass (untimed): byte-identity between the two paths. Fresh
+    // front-ends so both assign noise-run indices 0..n the same way.
+    let reference = unwrap_outcomes(Session::new().run_batch(&batch));
+    let executor = Executor::new();
+    let parallel = unwrap_outcomes(executor.run_batch(&batch));
+    for (i, (s, p)) in reference.iter().zip(&parallel).enumerate() {
+        assert_eq!(s.report, p.report, "item {i}: executor report diverges from session");
+        assert_eq!(s.outputs, p.outputs, "item {i}: executor outputs diverge from session");
+    }
+    println!("byte-identity: OK ({} mixed requests, executor == sequential session)", batch.len());
+
+    // Timed passes. Warm front-ends (plans cached, fabrics pooled) so the
+    // comparison isolates *execution* throughput, and the best of several
+    // repetitions so scheduling hiccups don't skew either side.
+    let mut session = Session::new();
+    session.run_batch(&batch);
+    let mut sequential_best = Duration::MAX;
+    for _ in 0..repetitions {
+        let start = Instant::now();
+        let results = session.run_batch(&batch);
+        sequential_best = sequential_best.min(start.elapsed());
+        assert!(results.iter().all(Result::is_ok));
+    }
+
+    let mut parallel_best = Duration::MAX;
+    for _ in 0..repetitions {
+        let start = Instant::now();
+        let results = executor.run_batch(&batch);
+        parallel_best = parallel_best.min(start.elapsed());
+        assert!(results.iter().all(Result::is_ok));
+    }
+
+    let speedup = sequential_best.as_secs_f64() / parallel_best.as_secs_f64().max(1e-9);
+    println!("host cores:          {cores}");
+    println!("batch size:          {} requests", batch.len());
+    println!("sequential session:  {:>10.3} ms", sequential_best.as_secs_f64() * 1e3);
+    println!("parallel executor:   {:>10.3} ms", parallel_best.as_secs_f64() * 1e3);
+    println!("speedup:             {speedup:>10.2}x");
+    let stats = executor.stats();
+    println!(
+        "executor amortisation: {} plan hits / {} misses, {} fabric reuses / {} created",
+        stats.plan_hits, stats.plan_misses, stats.fabric_reuses, stats.fabrics_created
+    );
+
+    if opts.assert_speedup {
+        let bar = match cores {
+            0 | 1 => {
+                println!("single core: speedup bar skipped (byte-identity already verified)");
+                return;
+            }
+            2 | 3 => 1.2,
+            _ => 2.0,
+        };
+        assert!(speedup >= bar, "throughput bar missed: {speedup:.2}x < {bar}x on {cores} cores");
+        println!("speedup bar ({bar}x on {cores} cores): OK");
+    }
+}

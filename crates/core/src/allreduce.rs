@@ -95,6 +95,14 @@ pub fn allreduce_1d_plan(
 /// only with its model (and concludes it is never the best choice on the
 /// WSE, §8.6), the implementation is provided so the prediction can be
 /// validated on the simulator.
+///
+/// # Panics
+///
+/// Panics when `p < 2` or `vector_len` is not divisible by `p`. The
+/// request API rejects the same shapes with a typed
+/// [`crate::error::CollectiveError::InvalidRequest`] before reaching this
+/// builder ([`crate::request::CollectiveRequest::validate`]); the panic
+/// here is the contract for callers constructing plans by hand.
 pub fn ring_allreduce_plan(p: u32, vector_len: u32, op: ReduceOp) -> CollectivePlan {
     assert!(p >= 2, "the ring needs at least two PEs");
     assert_eq!(

@@ -1,0 +1,205 @@
+//! Plan caching: the LRU map behind [`crate::session::Session`] and the
+//! shared, lock-guarded variant behind [`crate::executor::Executor`].
+//!
+//! Plan generation (model evaluation, Auto-Gen DP, routing-script
+//! construction) is the expensive half of serving a collective request, so
+//! both execution front-ends amortise it through a cache keyed by the full
+//! [`CollectiveRequest`]. The single-threaded [`PlanCache`] is a plain LRU
+//! map; [`SharedPlanCache`] wraps it in a [`Mutex`] so a pool of worker
+//! threads can resolve requests concurrently. Cached plans are handed out as
+//! [`Arc<ResolvedPlan>`], so a cache hit never copies plan bytes and the
+//! lock is held only for the map lookup — plan *generation* happens outside
+//! the critical section.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use wse_model::Machine;
+
+use crate::error::CollectiveError;
+use crate::request::{CollectiveRequest, ResolvedPlan};
+
+/// An LRU map from request to resolved plan.
+///
+/// Hand-rolled on `HashMap` plus a monotone use counter: capacities are
+/// small (tens of plans), so eviction scans are cheap and we avoid an
+/// external LRU dependency.
+#[derive(Debug, Default)]
+pub(crate) struct PlanCache {
+    entries: HashMap<CollectiveRequest, (Arc<ResolvedPlan>, u64)>,
+    tick: u64,
+}
+
+impl PlanCache {
+    pub(crate) fn get(&mut self, request: &CollectiveRequest) -> Option<Arc<ResolvedPlan>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(request).map(|(plan, last_used)| {
+            *last_used = tick;
+            Arc::clone(plan)
+        })
+    }
+
+    /// Insert a plan, evicting the least-recently-used entry if `capacity`
+    /// would be exceeded. Returns the number of evictions.
+    pub(crate) fn insert(
+        &mut self,
+        request: CollectiveRequest,
+        plan: Arc<ResolvedPlan>,
+        capacity: usize,
+    ) -> u64 {
+        self.tick += 1;
+        let mut evictions = 0;
+        while self.entries.len() >= capacity.max(1) && !self.entries.contains_key(&request) {
+            let Some(oldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, last_used))| *last_used)
+                .map(|(key, _)| *key)
+            else {
+                break;
+            };
+            self.entries.remove(&oldest);
+            evictions += 1;
+        }
+        self.entries.insert(request, (plan, self.tick));
+        evictions
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+/// What a [`SharedPlanCache::resolve`] call had to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ResolveOutcome {
+    /// Whether the plan was answered from the cache.
+    pub hit: bool,
+    /// Entries evicted while inserting a freshly generated plan.
+    pub evictions: u64,
+}
+
+/// A thread-safe plan cache shared by the workers of an executor.
+///
+/// The mutex guards only the LRU map; the expensive
+/// [`CollectiveRequest::resolve`] call runs outside the lock. Two workers
+/// racing on the same *previously unseen* request may therefore both
+/// generate the plan — plan generation is deterministic, so either copy is
+/// correct and the second insert simply refreshes the entry. That trade
+/// keeps distinct requests fully parallel, which matters far more for batch
+/// throughput than the rare duplicated generation.
+#[derive(Debug, Default)]
+pub(crate) struct SharedPlanCache {
+    inner: Mutex<PlanCache>,
+}
+
+impl SharedPlanCache {
+    /// Resolve `request` through the cache, generating (outside the lock)
+    /// on a miss.
+    pub(crate) fn resolve(
+        &self,
+        request: &CollectiveRequest,
+        machine: &Machine,
+        capacity: usize,
+    ) -> Result<(Arc<ResolvedPlan>, ResolveOutcome), CollectiveError> {
+        if let Some(cached) = self.lock().get(request) {
+            return Ok((cached, ResolveOutcome { hit: true, evictions: 0 }));
+        }
+        let resolved = Arc::new(request.resolve(machine)?);
+        let evictions = self.lock().insert(*request, Arc::clone(&resolved), capacity);
+        Ok((resolved, ResolveOutcome { hit: false, evictions }))
+    }
+
+    /// Number of plans currently cached.
+    pub(crate) fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Drop every cached plan.
+    pub(crate) fn clear(&self) {
+        self.lock().clear();
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, PlanCache> {
+        // The cache never panics while mutating (insert/get are infallible
+        // map operations), so a poisoned lock can only mean a *caller*
+        // panicked elsewhere while holding it; the data is still consistent.
+        self.inner.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Topology;
+
+    fn request(p: u32) -> CollectiveRequest {
+        CollectiveRequest::reduce(Topology::line(p), 8)
+    }
+
+    #[test]
+    fn shared_cache_hits_return_the_same_arc() {
+        let cache = SharedPlanCache::default();
+        let machine = Machine::wse2();
+        let (first, outcome) = cache.resolve(&request(8), &machine, 4).unwrap();
+        assert!(!outcome.hit);
+        let (second, outcome) = cache.resolve(&request(8), &machine, 4).unwrap();
+        assert!(outcome.hit);
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn shared_cache_respects_capacity() {
+        let cache = SharedPlanCache::default();
+        let machine = Machine::wse2();
+        let mut evictions = 0;
+        for p in 2..8 {
+            let (_, outcome) = cache.resolve(&request(p), &machine, 3).unwrap();
+            evictions += outcome.evictions;
+        }
+        assert_eq!(cache.len(), 3);
+        assert_eq!(evictions, 3);
+        cache.clear();
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn shared_cache_serves_concurrent_resolutions() {
+        let cache = SharedPlanCache::default();
+        let machine = Machine::wse2();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for p in 2..10 {
+                        let (plan, _) = cache.resolve(&request(p), &machine, 32).unwrap();
+                        assert_eq!(plan.plan.dim().num_pes(), p as usize);
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 8);
+    }
+
+    #[test]
+    fn reinserting_a_present_key_does_not_evict() {
+        // Regression: the LRU eviction loop must not evict a victim when the
+        // inserted key is already present (a racing double-generation in the
+        // shared cache refreshes the entry instead of shrinking the cache).
+        let mut cache = PlanCache::default();
+        let machine = Machine::wse2();
+        for p in [2u32, 3, 4] {
+            let plan = Arc::new(request(p).resolve(&machine).unwrap());
+            cache.insert(request(p), plan, 3);
+        }
+        let again = Arc::new(request(3).resolve(&machine).unwrap());
+        let evictions = cache.insert(request(3), again, 3);
+        assert_eq!(evictions, 0);
+        assert_eq!(cache.len(), 3);
+    }
+}

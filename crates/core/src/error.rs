@@ -70,6 +70,14 @@ pub enum CollectiveError {
         /// The supplied vector's length.
         got: usize,
     },
+    /// The clock model attached to a measurement covers a different number
+    /// of PEs than the plan's grid.
+    ClockModelMismatch {
+        /// PEs covered by the clock model.
+        clock_pes: usize,
+        /// PEs of the plan's grid.
+        plan_pes: usize,
+    },
     /// The fabric simulation failed.
     Fabric(FabricError),
 }
@@ -107,6 +115,12 @@ impl std::fmt::Display for CollectiveError {
                     "input vector {index} has {got} elements, the plan's vector length is {expected}"
                 )
             }
+            CollectiveError::ClockModelMismatch { clock_pes, plan_pes } => {
+                write!(
+                    f,
+                    "the clock model covers {clock_pes} PEs but the plan's grid has {plan_pes}"
+                )
+            }
             CollectiveError::Fabric(e) => write!(f, "fabric execution failed: {e}"),
         }
     }
@@ -137,6 +151,9 @@ mod tests {
         assert!(e.to_string().contains("outside the 4x4 grid"));
         let e = CollectiveError::InputCountMismatch { expected: 4, got: 3 };
         assert!(e.to_string().contains("4 input vectors"));
+        let e = CollectiveError::ClockModelMismatch { clock_pes: 16, plan_pes: 64 };
+        assert!(e.to_string().contains("16 PEs"));
+        assert!(e.to_string().contains("64"));
     }
 
     #[test]

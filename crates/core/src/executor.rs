@@ -1,0 +1,550 @@
+//! Parallel batch execution of independent collective requests.
+//!
+//! A [`crate::session::Session`] amortises plan generation and fabric
+//! construction but executes strictly serially: one mutable session, one
+//! collective in flight. Serving-scale traffic is dominated by *independent*
+//! requests, and the simulator parallelises trivially across them — so the
+//! [`Executor`] turns the session's serving path concurrent:
+//!
+//! * requests resolve through a **shared, lock-guarded plan cache**
+//!   ([`crate::cache::SharedPlanCache`]); plans are `Arc`ed, so a cache hit
+//!   is clone-free and the lock is held only for the map lookup,
+//! * execution happens on a **fabric pool**: reset [`Fabric`]s per grid
+//!   shape, checked out by worker threads and returned (reset again) after
+//!   each run — the mesh for a hot shape is allocated once, not per run,
+//! * workers are plain scoped threads ([`std::thread::scope`]); no external
+//!   runtime or channel crate is involved.
+//!
+//! ## Determinism
+//!
+//! Parallelism must not change results. Item `i` of a batch executes with
+//! noise-run index `base + i` (the executor's run counter, advanced by the
+//! batch length), so the thermal-noise realization each item sees is a pure
+//! function of its *position*, never of thread scheduling. A fresh executor
+//! therefore produces byte-identical outcomes — outputs *and*
+//! [`wse_fabric::RunReport`]s — to a fresh [`crate::session::Session`]
+//! running the same batch in order, as long as every item actually executes
+//! (a session does not consume a run index for a rejected item, an executor
+//! does; mixed-validity batches only keep the equivalence up to the first
+//! rejected item when noise is attached).
+
+use std::collections::HashMap;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use wse_fabric::geometry::GridDim;
+use wse_fabric::{Fabric, FabricParams};
+use wse_model::Machine;
+
+use crate::cache::SharedPlanCache;
+use crate::error::CollectiveError;
+use crate::request::{CollectiveRequest, ResolvedPlan};
+use crate::runner::{check_inputs, execute_on, RunOutcome};
+use crate::session::SessionConfig;
+
+/// One request of a batch: what to run and its per-data-PE input vectors.
+#[derive(Debug, Clone)]
+pub struct BatchItem {
+    /// The collective to execute.
+    pub request: CollectiveRequest,
+    /// One vector per data PE of the resolved plan, in plan order.
+    pub inputs: Vec<Vec<f32>>,
+}
+
+impl BatchItem {
+    /// Bundle a request with its inputs.
+    pub fn new(request: CollectiveRequest, inputs: Vec<Vec<f32>>) -> Self {
+        BatchItem { request, inputs }
+    }
+}
+
+/// Configuration of an [`Executor`].
+#[derive(Debug, Clone)]
+pub struct ExecutorConfig {
+    /// Machine model, fabric parameters / noise, and plan-cache capacity —
+    /// the same knobs a [`crate::session::Session`] takes, with the same
+    /// meaning.
+    pub session: SessionConfig,
+    /// Worker threads per batch. `None` uses the host's available
+    /// parallelism. A batch never spawns more workers than it has items.
+    pub workers: Option<NonZeroUsize>,
+    /// Upper bound on *idle* pooled fabrics kept per grid shape; fabrics
+    /// checked in beyond it are dropped. Bounds pool memory when traffic
+    /// shifts between shapes.
+    pub max_pooled_per_shape: usize,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        ExecutorConfig {
+            session: SessionConfig::default(),
+            workers: None,
+            max_pooled_per_shape: 64,
+        }
+    }
+}
+
+/// Counters describing how much work an executor amortised. Mirrors
+/// [`crate::session::SessionStats`] plus the batch count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecutorStats {
+    /// Requests answered from the shared plan cache.
+    pub plan_hits: u64,
+    /// Requests that had to generate a plan.
+    pub plan_misses: u64,
+    /// Plans evicted to respect the cache capacity.
+    pub plan_evictions: u64,
+    /// Collective executions performed.
+    pub runs: u64,
+    /// Runs that reused a pooled fabric.
+    pub fabric_reuses: u64,
+    /// Fabrics allocated for new checkouts.
+    pub fabrics_created: u64,
+    /// Batches executed.
+    pub batches: u64,
+}
+
+/// Lock-free accumulators behind [`ExecutorStats`]: workers bump these
+/// concurrently, `snapshot` reads them relaxed (counters are monotone and
+/// independent; a snapshot taken between two bumps is still a valid state).
+#[derive(Debug, Default)]
+struct AtomicStats {
+    plan_hits: AtomicU64,
+    plan_misses: AtomicU64,
+    plan_evictions: AtomicU64,
+    runs: AtomicU64,
+    fabric_reuses: AtomicU64,
+    fabrics_created: AtomicU64,
+    batches: AtomicU64,
+}
+
+impl AtomicStats {
+    fn snapshot(&self) -> ExecutorStats {
+        ExecutorStats {
+            plan_hits: self.plan_hits.load(Ordering::Relaxed),
+            plan_misses: self.plan_misses.load(Ordering::Relaxed),
+            plan_evictions: self.plan_evictions.load(Ordering::Relaxed),
+            runs: self.runs.load(Ordering::Relaxed),
+            fabric_reuses: self.fabric_reuses.load(Ordering::Relaxed),
+            fabrics_created: self.fabrics_created.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A pool of idle, reset fabrics keyed by grid shape.
+///
+/// Invariant: every fabric in the pool is in its post-[`Fabric::reset`]
+/// state (no programs, scripts, noise, or counters), so a checkout is
+/// immediately installable — the reset cost is paid at check-in, off the
+/// critical path of the *next* request for that shape.
+#[derive(Debug, Default)]
+struct FabricPool {
+    idle: Mutex<HashMap<GridDim, Vec<Fabric>>>,
+}
+
+impl FabricPool {
+    /// Take an idle fabric of the given shape, or build one. Returns the
+    /// fabric and whether it came from the pool.
+    fn checkout(&self, dim: GridDim, params: FabricParams) -> (Fabric, bool) {
+        let pooled = self.lock().get_mut(&dim).and_then(Vec::pop);
+        match pooled {
+            Some(fabric) => (fabric, true),
+            None => (Fabric::new(dim, params), false),
+        }
+    }
+
+    /// Reset a fabric and return it to the pool (or drop it if the shape's
+    /// idle list is already at `max_per_shape`).
+    fn check_in(&self, mut fabric: Fabric, max_per_shape: usize) {
+        fabric.reset();
+        let mut idle = self.lock();
+        let list = idle.entry(fabric.dim()).or_default();
+        if list.len() < max_per_shape {
+            list.push(fabric);
+        }
+    }
+
+    fn pooled(&self) -> usize {
+        self.lock().values().map(Vec::len).sum()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<GridDim, Vec<Fabric>>> {
+        self.idle.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+/// A thread-safe batch executor: the concurrent counterpart of
+/// [`crate::session::Session`].
+///
+/// All methods take `&self`; an `Executor` can be shared across threads
+/// (e.g. behind an `Arc`) and keeps amortising across batches — the plan
+/// cache and fabric pool persist for its lifetime.
+///
+/// ```
+/// use wse_collectives::prelude::*;
+///
+/// let executor = Executor::new();
+/// let batch: Vec<BatchItem> = (0..8)
+///     .map(|i| {
+///         let request = CollectiveRequest::reduce(Topology::line(8), 32);
+///         let inputs = (0..8).map(|p| vec![(p + i) as f32; 32]).collect();
+///         BatchItem::new(request, inputs)
+///     })
+///     .collect();
+/// let results = executor.run_batch(&batch);
+/// assert!(results.iter().all(Result::is_ok));
+/// // Eight runs served by one cached plan. (`plan_misses` is not asserted
+/// // here: workers racing on a previously unseen request may generate the
+/// // plan more than once — see the shared-cache docs — so only the cache
+/// // contents are deterministic under the default worker count.)
+/// assert_eq!(executor.stats().runs, 8);
+/// assert_eq!(executor.cached_plans(), 1);
+/// ```
+#[derive(Debug)]
+pub struct Executor {
+    config: ExecutorConfig,
+    cache: SharedPlanCache,
+    pool: FabricPool,
+    stats: AtomicStats,
+    run_counter: AtomicU64,
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Executor::new()
+    }
+}
+
+impl Executor {
+    /// An executor targeting the paper's WSE-2 machine with default
+    /// settings.
+    pub fn new() -> Self {
+        Executor::with_config(ExecutorConfig::default())
+    }
+
+    /// An executor reusing a session's configuration (machine, fabric
+    /// parameters, noise, plan-cache capacity).
+    pub fn with_session_config(session: SessionConfig) -> Self {
+        Executor::with_config(ExecutorConfig { session, ..ExecutorConfig::default() })
+    }
+
+    /// An executor with full configuration control.
+    pub fn with_config(config: ExecutorConfig) -> Self {
+        Executor {
+            config,
+            cache: SharedPlanCache::default(),
+            pool: FabricPool::default(),
+            stats: AtomicStats::default(),
+            run_counter: AtomicU64::new(0),
+        }
+    }
+
+    /// The machine model requests are resolved against.
+    pub fn machine(&self) -> &Machine {
+        &self.config.session.machine
+    }
+
+    /// Amortisation counters accumulated so far.
+    pub fn stats(&self) -> ExecutorStats {
+        self.stats.snapshot()
+    }
+
+    /// Number of plans currently in the shared cache.
+    pub fn cached_plans(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Number of idle fabrics currently pooled across all shapes.
+    pub fn pooled_fabrics(&self) -> usize {
+        self.pool.pooled()
+    }
+
+    /// Drop every cached plan (the fabric pool and statistics are kept).
+    pub fn clear_plan_cache(&self) {
+        self.cache.clear();
+    }
+
+    /// Resolve a request into an executable plan through the shared cache.
+    pub fn plan(&self, request: &CollectiveRequest) -> Result<Arc<ResolvedPlan>, CollectiveError> {
+        let (plan, outcome) = self.cache.resolve(
+            request,
+            &self.config.session.machine,
+            self.config.session.plan_cache_capacity,
+        )?;
+        if outcome.hit {
+            self.stats.plan_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.stats.plan_misses.fetch_add(1, Ordering::Relaxed);
+            self.stats.plan_evictions.fetch_add(outcome.evictions, Ordering::Relaxed);
+        }
+        Ok(plan)
+    }
+
+    /// Execute a batch of independent requests in parallel, returning one
+    /// result per item, in item order.
+    ///
+    /// Items are claimed by worker threads off a shared counter, so a slow
+    /// item never leaves workers idle while others wait. Failures are
+    /// per-item: an invalid request occupies its slot with a typed
+    /// [`CollectiveError`] and does not affect its neighbours.
+    pub fn run_batch(&self, batch: &[BatchItem]) -> Vec<Result<RunOutcome, CollectiveError>> {
+        let n = batch.len();
+        self.stats.batches.fetch_add(1, Ordering::Relaxed);
+        let base = self.run_counter.fetch_add(n as u64, Ordering::Relaxed);
+        let results: Vec<OnceLock<Result<RunOutcome, CollectiveError>>> =
+            (0..n).map(|_| OnceLock::new()).collect();
+        let workers = self.worker_count(n);
+        if workers <= 1 {
+            for (i, item) in batch.iter().enumerate() {
+                let _ = results[i].set(self.run_one(item, base + i as u64));
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let _ = results[i].set(self.run_one(&batch[i], base + i as u64));
+                    });
+                }
+            });
+        }
+        results
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("every batch slot was claimed by a worker"))
+            .collect()
+    }
+
+    /// Resolve (through the shared cache) and execute one request with an
+    /// explicit noise-run index.
+    fn run_one(&self, item: &BatchItem, run_index: u64) -> Result<RunOutcome, CollectiveError> {
+        let resolved = self.plan(&item.request)?;
+        check_inputs(&resolved.plan, &item.inputs)?;
+        let run = &self.config.session.run;
+        let (mut fabric, reused) = self.pool.checkout(resolved.plan.dim(), run.params);
+        if reused {
+            self.stats.fabric_reuses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.stats.fabrics_created.fetch_add(1, Ordering::Relaxed);
+        }
+        fabric.set_noise(run.noise.as_ref().map(|noise| noise.for_run(run_index)));
+        self.stats.runs.fetch_add(1, Ordering::Relaxed);
+        let result = execute_on(&mut fabric, &resolved.plan, &item.inputs);
+        self.pool.check_in(fabric, self.config.max_pooled_per_shape);
+        result
+    }
+
+    fn worker_count(&self, items: usize) -> usize {
+        let configured = match self.config.workers {
+            Some(workers) => workers.get(),
+            None => std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1),
+        };
+        configured.min(items).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reduce::ReducePattern;
+    use crate::request::{Schedule, Topology};
+    use crate::session::Session;
+    use wse_fabric::program::ReduceOp;
+    use wse_fabric::NoiseModel;
+
+    fn inputs(p: usize, b: usize) -> Vec<Vec<f32>> {
+        (0..p).map(|i| (0..b).map(|j| ((i * 5 + j) % 11) as f32 * 0.25 - 1.0).collect()).collect()
+    }
+
+    fn mixed_batch() -> Vec<BatchItem> {
+        let mut batch = Vec::new();
+        for round in 0..2 {
+            batch.push(BatchItem::new(
+                CollectiveRequest::reduce(Topology::line(12), 32 + round),
+                inputs(12, 32 + round as usize),
+            ));
+            batch.push(BatchItem::new(
+                CollectiveRequest::allreduce(Topology::line(8), 24),
+                inputs(8, 24),
+            ));
+            batch.push(BatchItem::new(
+                CollectiveRequest::reduce(Topology::grid(4, 3), 16)
+                    .with_schedule(Schedule::Reduce2d(crate::reduce::Reduce2dPattern::Snake)),
+                inputs(12, 16),
+            ));
+            batch.push(BatchItem::new(
+                CollectiveRequest::broadcast(Topology::line(9), 12),
+                inputs(1, 12),
+            ));
+            batch.push(BatchItem::new(
+                CollectiveRequest::reduce(Topology::line(12), 32 + round)
+                    .with_op(ReduceOp::Max)
+                    .with_schedule(Schedule::Reduce1d(ReducePattern::Tree)),
+                inputs(12, 32 + round as usize),
+            ));
+        }
+        batch
+    }
+
+    fn assert_equivalent(
+        parallel: &[Result<RunOutcome, CollectiveError>],
+        sequential: &[Result<RunOutcome, CollectiveError>],
+    ) {
+        assert_eq!(parallel.len(), sequential.len());
+        for (i, (p, s)) in parallel.iter().zip(sequential).enumerate() {
+            match (p, s) {
+                (Ok(p), Ok(s)) => {
+                    assert_eq!(p.report, s.report, "item {i}: reports diverge");
+                    assert_eq!(p.outputs, s.outputs, "item {i}: outputs diverge");
+                }
+                (Err(p), Err(s)) => assert_eq!(p, s, "item {i}: errors diverge"),
+                _ => panic!("item {i}: one path failed, the other did not"),
+            }
+        }
+    }
+
+    #[test]
+    fn batch_results_are_byte_identical_to_a_sequential_session() {
+        let batch = mixed_batch();
+        let executor = Executor::new();
+        let parallel = executor.run_batch(&batch);
+        let sequential = Session::new().run_batch(&batch);
+        assert_equivalent(&parallel, &sequential);
+    }
+
+    #[test]
+    fn noisy_batches_stay_equivalent_and_decorrelated() {
+        let mut config = SessionConfig::default();
+        config.run.noise = Some(NoiseModel::new(0.1, 21));
+        let batch: Vec<BatchItem> = (0..6)
+            .map(|_| {
+                BatchItem::new(CollectiveRequest::reduce(Topology::line(8), 48), inputs(8, 48))
+            })
+            .collect();
+
+        let executor = Executor::with_session_config(config.clone());
+        let parallel = executor.run_batch(&batch);
+        let sequential = Session::with_config(config).run_batch(&batch);
+        assert_equivalent(&parallel, &sequential);
+
+        // Same request, different batch positions: different realizations.
+        let a = parallel[0].as_ref().unwrap();
+        let b = parallel[1].as_ref().unwrap();
+        assert_ne!(
+            (a.report.noop_cycles, &a.report.pe_finish),
+            (b.report.noop_cycles, &b.report.pe_finish),
+            "items of one batch must not replay one noise stream"
+        );
+    }
+
+    #[test]
+    fn run_indices_continue_across_batches() {
+        // Two batches on one executor must see the same noise sequence as
+        // one session running all items back to back.
+        let mut config = SessionConfig::default();
+        config.run.noise = Some(NoiseModel::new(0.08, 5));
+        let batch: Vec<BatchItem> = (0..4)
+            .map(|_| {
+                BatchItem::new(CollectiveRequest::reduce(Topology::line(6), 20), inputs(6, 20))
+            })
+            .collect();
+        let executor = Executor::with_session_config(config.clone());
+        let mut parallel = executor.run_batch(&batch);
+        parallel.extend(executor.run_batch(&batch));
+        let mut session = Session::with_config(config);
+        let mut sequential = session.run_batch(&batch);
+        sequential.extend(session.run_batch(&batch));
+        assert_equivalent(&parallel, &sequential);
+    }
+
+    #[test]
+    fn plans_are_shared_and_fabrics_are_pooled() {
+        let executor = Executor::with_config(ExecutorConfig {
+            workers: Some(NonZeroUsize::new(1).unwrap()),
+            ..ExecutorConfig::default()
+        });
+        let batch: Vec<BatchItem> = (0..6)
+            .map(|_| {
+                BatchItem::new(CollectiveRequest::reduce(Topology::line(10), 16), inputs(10, 16))
+            })
+            .collect();
+        let results = executor.run_batch(&batch);
+        assert!(results.iter().all(Result::is_ok));
+        let stats = executor.stats();
+        assert_eq!(stats.plan_misses, 1, "one plan generation for six identical requests");
+        assert_eq!(stats.plan_hits, 5);
+        assert_eq!(stats.runs, 6);
+        assert_eq!(stats.fabrics_created, 1, "a single worker reuses one pooled fabric");
+        assert_eq!(stats.fabric_reuses, 5);
+        assert_eq!(stats.batches, 1);
+        assert_eq!(executor.cached_plans(), 1);
+        assert_eq!(executor.pooled_fabrics(), 1);
+    }
+
+    #[test]
+    fn pool_bound_caps_idle_fabrics() {
+        let executor = Executor::with_config(ExecutorConfig {
+            max_pooled_per_shape: 1,
+            ..ExecutorConfig::default()
+        });
+        let batch: Vec<BatchItem> = (0..8)
+            .map(|_| BatchItem::new(CollectiveRequest::reduce(Topology::line(6), 8), inputs(6, 8)))
+            .collect();
+        executor.run_batch(&batch);
+        assert!(executor.pooled_fabrics() <= 1);
+    }
+
+    #[test]
+    fn failures_are_per_item() {
+        let executor = Executor::new();
+        let good = BatchItem::new(CollectiveRequest::reduce(Topology::line(4), 8), inputs(4, 8));
+        let wrong_count =
+            BatchItem::new(CollectiveRequest::reduce(Topology::line(4), 8), inputs(3, 8));
+        let bad_request =
+            BatchItem::new(CollectiveRequest::reduce(Topology::line(4), 0), inputs(4, 8));
+        let results = executor.run_batch(&[good.clone(), wrong_count, bad_request, good]);
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(CollectiveError::InputCountMismatch { .. })));
+        assert!(matches!(results[2], Err(CollectiveError::InvalidRequest { .. })));
+        assert!(results[3].is_ok());
+        assert_eq!(executor.stats().runs, 2, "rejected items never touch a fabric");
+    }
+
+    #[test]
+    fn empty_batches_are_a_no_op() {
+        let executor = Executor::new();
+        assert!(executor.run_batch(&[]).is_empty());
+        assert_eq!(executor.stats().runs, 0);
+        assert_eq!(executor.stats().batches, 1);
+    }
+
+    #[test]
+    fn executor_is_shareable_across_threads() {
+        let executor = Arc::new(Executor::new());
+        let batch: Vec<BatchItem> = (0..3)
+            .map(|_| {
+                BatchItem::new(CollectiveRequest::reduce(Topology::line(8), 16), inputs(8, 16))
+            })
+            .collect();
+        let reference = Session::new().run_batch(&batch);
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let executor = Arc::clone(&executor);
+                let batch = &batch;
+                let reference = &reference;
+                scope.spawn(move || {
+                    // No noise configured: every batch is equivalent to the
+                    // same fresh sequential session regardless of the
+                    // interleaving of the three submitters.
+                    assert_equivalent(&executor.run_batch(batch), reference);
+                });
+            }
+        });
+        assert_eq!(executor.stats().runs, 9);
+    }
+}

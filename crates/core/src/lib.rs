@@ -18,7 +18,11 @@
 //!   model-driven selection;
 //! * a [`Session`] resolves requests into executable [`CollectivePlan`]s
 //!   through an LRU **plan cache** and executes them on a reused,
-//!   resettable fabric — generate once, run many times.
+//!   resettable fabric — generate once, run many times;
+//! * an [`Executor`] serves a **batch** of independent requests in
+//!   parallel: worker threads share the plan cache (lock-guarded, `Arc`ed
+//!   plans) and check fabrics out of a per-shape **pool**, with results
+//!   byte-identical to the sequential session (see [`executor`]).
 //!
 //! ## Quickstart
 //!
@@ -77,7 +81,9 @@
 
 pub mod allreduce;
 pub mod broadcast;
+mod cache;
 pub mod error;
+pub mod executor;
 pub mod measured;
 pub mod path;
 pub mod plan;
@@ -94,6 +100,7 @@ pub use allreduce::{
 };
 pub use broadcast::{flood_broadcast_2d_plan, flood_broadcast_plan};
 pub use error::CollectiveError;
+pub use executor::{BatchItem, Executor, ExecutorConfig, ExecutorStats};
 pub use measured::{measured_run, MeasureConfig, MeasuredRun};
 pub use path::LinePath;
 pub use plan::CollectivePlan;
@@ -112,6 +119,7 @@ pub mod prelude {
     pub use crate::allreduce::{allreduce_1d_plan, allreduce_2d_plan, AllReducePattern};
     pub use crate::broadcast::{flood_broadcast_2d_plan, flood_broadcast_plan};
     pub use crate::error::CollectiveError;
+    pub use crate::executor::{BatchItem, Executor, ExecutorConfig, ExecutorStats};
     pub use crate::path::LinePath;
     pub use crate::plan::CollectivePlan;
     pub use crate::reduce::{reduce_1d_plan, reduce_2d_plan, Reduce2dPattern, ReducePattern};

@@ -15,7 +15,7 @@ use wse_fabric::{ClockModel, Fabric};
 
 use crate::error::CollectiveError;
 use crate::plan::CollectivePlan;
-use crate::runner::RunConfig;
+use crate::runner::{check_inputs, RunConfig};
 
 /// Configuration of a calibrated measurement.
 #[derive(Debug, Clone)]
@@ -64,18 +64,36 @@ impl MeasuredRun {
 /// For every candidate `α` the plan is re-run with a per-PE busy-wait
 /// prefix of `α·(M + N − i − j)` writes; the per-PE start (end of the
 /// prefix) and end (program completion) times are read through the skewed
-/// clock model, corrected, and fed to the calibration loop.
+/// clock model, corrected, and fed to the calibration loop. Each
+/// calibration run draws a fresh thermal-noise realization (derived from
+/// the configured base seed and the run number), exactly as repeated runs
+/// on the real machine would — replaying one fixed no-op sequence would
+/// bias the calibration towards that single draw.
+///
+/// A clock model covering a different number of PEs than the plan's grid
+/// and ill-shaped inputs are reported as typed errors
+/// ([`CollectiveError::ClockModelMismatch`],
+/// [`CollectiveError::InputCountMismatch`], ...), not panics.
 pub fn measured_run(
     plan: &CollectivePlan,
     inputs: &[Vec<f32>],
     config: &MeasureConfig,
 ) -> Result<MeasuredRun, CollectiveError> {
-    assert_eq!(config.clock.num_pes(), plan.dim().num_pes());
+    if config.clock.num_pes() != plan.dim().num_pes() {
+        return Err(CollectiveError::ClockModelMismatch {
+            clock_pes: config.clock.num_pes(),
+            plan_pes: plan.dim().num_pes(),
+        });
+    }
+    check_inputs(plan, inputs)?;
     let dim = plan.dim();
     let mut first_error = None;
+    let mut run_index = 0u64;
     let calibration =
         measure::calibrate(dim, config.start_spread_threshold, config.max_iterations, |alpha| {
-            match run_staggered(plan, inputs, config, alpha) {
+            let this_run = run_index;
+            run_index += 1;
+            match run_staggered(plan, inputs, config, alpha, this_run) {
                 Ok(ts) => ts,
                 Err(e) => {
                     if first_error.is_none() {
@@ -99,10 +117,11 @@ fn run_staggered(
     inputs: &[Vec<f32>],
     config: &MeasureConfig,
     alpha: f64,
+    run_index: u64,
 ) -> Result<Timestamps, CollectiveError> {
     let dim = plan.dim();
     let mut fabric = Fabric::new(dim, config.run.params);
-    fabric.set_noise(config.run.noise.clone());
+    fabric.set_noise(config.run.noise.as_ref().map(|noise| noise.for_run(run_index)));
     // Install the plan with a staggering prefix on every PE.
     for c in dim.iter() {
         let writes = measure::stagger_writes(dim, c, alpha).max(1) as u32;
@@ -166,6 +185,49 @@ mod tests {
         let diff = (duration as i64 - plain as i64).abs() as f64;
         assert!(diff <= plain as f64 * 0.15 + 32.0, "measured {duration} vs plain {plain}");
         assert!(measured.calibration.measurement.start_spread <= 57);
+    }
+
+    #[test]
+    fn mismatched_clock_model_is_a_typed_error() {
+        // Regression: this used to be an `assert_eq!` panic inside
+        // `measured_run`, unreachable to callers that wanted to handle it.
+        let plan = reduce_1d_plan(ReducePattern::Chain, 8, 16, ReduceOp::Sum, &Machine::wse2());
+        let data = inputs(8, 16);
+        let config = MeasureConfig::new(ClockModel::synchronized(4));
+        let err = measured_run(&plan, &data, &config).unwrap_err();
+        assert_eq!(err, CollectiveError::ClockModelMismatch { clock_pes: 4, plan_pes: 8 });
+    }
+
+    #[test]
+    fn ill_shaped_inputs_are_typed_errors() {
+        let plan = reduce_1d_plan(ReducePattern::Chain, 8, 16, ReduceOp::Sum, &Machine::wse2());
+        let config = MeasureConfig::new(ClockModel::synchronized(8));
+        let err = measured_run(&plan, &inputs(7, 16), &config).unwrap_err();
+        assert!(matches!(err, CollectiveError::InputCountMismatch { expected: 8, got: 7 }));
+        let err = measured_run(&plan, &inputs(8, 15), &config).unwrap_err();
+        assert!(matches!(err, CollectiveError::InputLengthMismatch { expected: 16, got: 15, .. }));
+    }
+
+    #[test]
+    fn noisy_measurements_are_reproducible_per_seed() {
+        // Every calibration iteration draws a fresh noise realization
+        // (seed ⊕ run number), but the whole measurement remains a pure
+        // function of its configuration.
+        let p = 8u32;
+        let plan = reduce_1d_plan(ReducePattern::Chain, p, 32, ReduceOp::Sum, &Machine::wse2());
+        let data = inputs(p as usize, 32);
+        let measure = || {
+            let clock = ClockModel::random(plan.dim().num_pes(), 5_000, 2);
+            let mut config = MeasureConfig::new(clock);
+            config.run.noise = Some(NoiseModel::new(0.1, 5));
+            config.start_spread_threshold = 0; // force every iteration to run
+            config.max_iterations = 4;
+            measured_run(&plan, &data, &config).unwrap().calibration
+        };
+        let a = measure();
+        let b = measure();
+        assert_eq!(a.iterations, 4);
+        assert_eq!(a, b);
     }
 
     #[test]

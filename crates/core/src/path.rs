@@ -51,6 +51,11 @@ impl LinePath {
     }
 
     /// A full row of the grid, rooted at the leftmost PE (`x = 0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `y` lies outside the grid. Use [`LinePath::new`] for a
+    /// typed-error path over arbitrary (possibly invalid) coordinates.
     pub fn row(dim: GridDim, y: u32) -> Self {
         assert!(y < dim.height, "row {y} outside the grid");
         let coords = (0..dim.width).map(|x| Coord::new(x, y)).collect();
@@ -58,6 +63,11 @@ impl LinePath {
     }
 
     /// A prefix of a row: the `len` leftmost PEs of row `y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `y` lies outside the grid or `len` is zero or exceeds
+    /// the grid width.
     pub fn row_prefix(dim: GridDim, y: u32, len: u32) -> Self {
         assert!(y < dim.height && len >= 1 && len <= dim.width);
         let coords = (0..len).map(|x| Coord::new(x, y)).collect();
@@ -65,6 +75,11 @@ impl LinePath {
     }
 
     /// A full column of the grid, rooted at the topmost PE (`y = 0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x` lies outside the grid. Use [`LinePath::new`] for a
+    /// typed-error path over arbitrary (possibly invalid) coordinates.
     pub fn column(dim: GridDim, x: u32) -> Self {
         assert!(x < dim.width, "column {x} outside the grid");
         let coords = (0..dim.height).map(|y| Coord::new(x, y)).collect();

@@ -164,6 +164,13 @@ impl CollectivePlan {
     /// Install the plan's programs and routing scripts on a fabric.
     ///
     /// Input data is *not* installed here; see [`crate::runner::run_plan`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the fabric's grid differs from the plan's. The session
+    /// and executor execution paths allocate (or pool) fabrics by the
+    /// plan's own grid shape, so they cannot hit this; it guards hand-built
+    /// fabrics only.
     pub fn apply(&self, fabric: &mut Fabric) {
         assert_eq!(fabric.dim(), self.dim, "plan and fabric dimensions differ");
         for i in 0..self.dim.num_pes() {

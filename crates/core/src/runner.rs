@@ -25,7 +25,7 @@ impl RunConfig {
 }
 
 /// The result of running a plan.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunOutcome {
     /// The fabric's run report (cycles, energy, contention, ...).
     pub report: RunReport,

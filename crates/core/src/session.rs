@@ -25,6 +25,7 @@ use wse_fabric::geometry::GridDim;
 use wse_fabric::Fabric;
 use wse_model::Machine;
 
+use crate::cache::PlanCache;
 use crate::error::CollectiveError;
 use crate::request::{CollectiveRequest, ResolvedPlan};
 use crate::runner::{check_inputs, execute_on, RunConfig, RunOutcome};
@@ -69,62 +70,6 @@ pub struct SessionStats {
     pub fabric_reuses: u64,
     /// Fabrics allocated for new grid shapes.
     pub fabrics_created: u64,
-}
-
-/// An LRU map from request to resolved plan.
-///
-/// Hand-rolled on `HashMap` plus a monotone use counter: capacities are
-/// small (tens of plans), so eviction scans are cheap and we avoid an
-/// external LRU dependency.
-#[derive(Debug, Default)]
-struct PlanCache {
-    entries: HashMap<CollectiveRequest, (Arc<ResolvedPlan>, u64)>,
-    tick: u64,
-}
-
-impl PlanCache {
-    fn get(&mut self, request: &CollectiveRequest) -> Option<Arc<ResolvedPlan>> {
-        self.tick += 1;
-        let tick = self.tick;
-        self.entries.get_mut(request).map(|(plan, last_used)| {
-            *last_used = tick;
-            Arc::clone(plan)
-        })
-    }
-
-    /// Insert a plan, evicting the least-recently-used entry if `capacity`
-    /// would be exceeded. Returns the number of evictions.
-    fn insert(
-        &mut self,
-        request: CollectiveRequest,
-        plan: Arc<ResolvedPlan>,
-        capacity: usize,
-    ) -> u64 {
-        self.tick += 1;
-        let mut evictions = 0;
-        while self.entries.len() >= capacity.max(1) {
-            let Some(oldest) = self
-                .entries
-                .iter()
-                .min_by_key(|(_, (_, last_used))| *last_used)
-                .map(|(key, _)| *key)
-            else {
-                break;
-            };
-            self.entries.remove(&oldest);
-            evictions += 1;
-        }
-        self.entries.insert(request, (plan, self.tick));
-        evictions
-    }
-
-    fn len(&self) -> usize {
-        self.entries.len()
-    }
-
-    fn clear(&mut self) {
-        self.entries.clear();
-    }
 }
 
 /// A reusable executor for collective requests.
@@ -239,6 +184,14 @@ impl Session {
     }
 
     /// Execute an already-resolved plan on the session's fabrics.
+    ///
+    /// When the session's [`RunConfig`] carries a noise model, every run
+    /// draws a *fresh* thermal-noise realization: the model attached to the
+    /// fabric is derived from the configured base seed and the session's run
+    /// counter ([`wse_fabric::NoiseModel::for_run`]). Two noisy runs of the
+    /// same request therefore differ (as on the real machine), while two
+    /// sessions with the same configuration still reproduce each other
+    /// exactly, run for run.
     pub fn run_resolved(
         &mut self,
         resolved: &ResolvedPlan,
@@ -261,9 +214,24 @@ impl Session {
                 entry.insert(Fabric::new(dim, config.run.params))
             }
         };
-        fabric.set_noise(config.run.noise.clone());
+        fabric.set_noise(config.run.noise.as_ref().map(|noise| noise.for_run(stats.runs)));
         stats.runs += 1;
         execute_on(fabric, &resolved.plan, inputs)
+    }
+
+    /// Resolve and execute a batch of requests sequentially, in order.
+    ///
+    /// This is the serial counterpart of
+    /// [`crate::executor::Executor::run_batch`]: item `i` of a batch run on
+    /// a fresh session and item `i` of the same batch run on a fresh
+    /// executor produce byte-identical outcomes (both assign noise-run
+    /// index `i`), which is what the equivalence tests and the throughput
+    /// benchmark compare.
+    pub fn run_batch(
+        &mut self,
+        batch: &[crate::executor::BatchItem],
+    ) -> Vec<Result<RunOutcome, CollectiveError>> {
+        batch.iter().map(|item| self.run(&item.request, &item.inputs)).collect()
     }
 }
 
@@ -413,6 +381,68 @@ mod tests {
         assert_eq!(stats.fabric_reuses, 0);
         // Planning still happened (the request itself is valid).
         assert_eq!(stats.plan_misses, 1);
+    }
+
+    fn noisy_config(probability: f64, seed: u64) -> SessionConfig {
+        let mut config = SessionConfig::default();
+        config.run.noise = Some(wse_fabric::NoiseModel::new(probability, seed));
+        config
+    }
+
+    #[test]
+    fn noisy_runs_see_fresh_noise_realizations() {
+        // Regression for the session noise-replay bug: cloning the configured
+        // noise model into the fabric on every run replayed the identical
+        // no-op sequence, so repeated noisy runs were byte-identical instead
+        // of independent draws.
+        let mut session = Session::with_config(noisy_config(0.2, 42));
+        let request = CollectiveRequest::reduce(Topology::line(8), 64)
+            .with_schedule(Schedule::Reduce1d(ReducePattern::Chain));
+        let data = inputs(8, 64);
+        let first = session.run(&request, &data).unwrap();
+        let second = session.run(&request, &data).unwrap();
+        assert!(first.report.noop_cycles > 0, "noise must actually fire");
+        assert_ne!(
+            (first.report.noop_cycles, &first.report.pe_finish),
+            (second.report.noop_cycles, &second.report.pe_finish),
+            "two noisy runs must draw different noise realizations"
+        );
+        // The data outcome is unaffected by noise either way.
+        let expected = expected_reduce(&data, ReduceOp::Sum);
+        assert_outputs_close(&first, &expected, 1e-4);
+        assert_outputs_close(&second, &expected, 1e-4);
+    }
+
+    #[test]
+    fn equally_seeded_sessions_reproduce_each_other_exactly() {
+        let request = CollectiveRequest::allreduce(Topology::line(6), 32);
+        let data = inputs(6, 32);
+        let run_session = || {
+            let mut session = Session::with_config(noisy_config(0.15, 7));
+            (0..3).map(|_| session.run(&request, &data).unwrap()).collect::<Vec<_>>()
+        };
+        let a = run_session();
+        let b = run_session();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.report, y.report, "same seed + same run counter = same realization");
+            assert_eq!(x.outputs, y.outputs);
+        }
+    }
+
+    #[test]
+    fn first_noisy_session_run_matches_the_one_shot_path() {
+        // `NoiseModel::for_run(0)` is the identity derivation, so run 0 of a
+        // session must stay byte-identical to `run_plan` with the same
+        // config — reseeding only kicks in from run 1 onwards.
+        let config = noisy_config(0.1, 99);
+        let request = CollectiveRequest::reduce(Topology::line(10), 24);
+        let data = inputs(10, 24);
+        let mut session = Session::with_config(config.clone());
+        let session_outcome = session.run(&request, &data).unwrap();
+        let resolved = request.resolve(&config.machine).unwrap();
+        let one_shot = run_plan(&resolved.plan, &data, &config.run).unwrap();
+        assert_eq!(session_outcome.report, one_shot.report);
+        assert_eq!(session_outcome.outputs, one_shot.outputs);
     }
 
     #[test]

@@ -31,11 +31,26 @@ impl SplitMix64 {
     }
 
     /// Uniform draw from `[0, bound]`.
+    ///
+    /// Uses the widening-multiply method with rejection (Lemire's unbiased
+    /// range reduction) rather than `next_u64() % (bound + 1)`: the modulo
+    /// over-represents small values once the bound is no longer negligible
+    /// against 2⁶⁴ — at `bound + 1 = 3·2⁶²` the smallest quarter of the
+    /// range is drawn half again as often as the rest.
     fn below_inclusive(&mut self, bound: u64) -> u64 {
         if bound == u64::MAX {
-            self.next_u64()
-        } else {
-            self.next_u64() % (bound + 1)
+            return self.next_u64();
+        }
+        let range = bound + 1;
+        // 2⁶⁴ mod range: a draw whose low product word falls below this
+        // belongs to the truncated final copy of `[0, range)` and must be
+        // rejected to keep every value exactly equally likely.
+        let threshold = range.wrapping_neg() % range;
+        loop {
+            let wide = (self.next_u64() as u128) * (range as u128);
+            if (wide as u64) >= threshold {
+                return (wide >> 64) as u64;
+            }
         }
     }
 
@@ -96,6 +111,7 @@ impl ClockModel {
 #[derive(Debug, Clone)]
 pub struct NoiseModel {
     probability: f64,
+    seed: u64,
     rng: SplitMix64,
 }
 
@@ -104,12 +120,31 @@ impl NoiseModel {
     /// probability.
     pub fn new(probability: f64, seed: u64) -> Self {
         assert!((0.0..1.0).contains(&probability), "no-op probability must be in [0, 1)");
-        NoiseModel { probability, rng: SplitMix64::seed_from_u64(seed) }
+        NoiseModel { probability, seed, rng: SplitMix64::seed_from_u64(seed) }
     }
 
     /// The configured no-op probability.
     pub fn probability(&self) -> f64 {
         self.probability
+    }
+
+    /// The base seed the model's stream was derived from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// An independent noise stream for run number `run_index`, derived from
+    /// this model's *base* seed (the derivation ignores how much of the
+    /// current stream has already been consumed).
+    ///
+    /// Execution sessions and batch executors attach `for_run(counter)` to
+    /// the fabric instead of cloning the model, so that every run of a
+    /// reused session sees a fresh thermal-noise realization while the whole
+    /// session stays reproducible from its base seed. `for_run(0)` is the
+    /// identity derivation: it equals a freshly constructed model, which
+    /// keeps one-shot runs and the first run of a session byte-identical.
+    pub fn for_run(&self, run_index: u64) -> NoiseModel {
+        NoiseModel::new(self.probability, self.seed ^ run_index.wrapping_mul(0x9E3779B97F4A7C15))
     }
 
     /// Sample how many no-op cycles to insert right now (0 or 1).
@@ -173,5 +208,75 @@ mod tests {
     #[should_panic]
     fn noise_probability_must_be_below_one() {
         let _ = NoiseModel::new(1.0, 0);
+    }
+
+    #[test]
+    fn below_inclusive_has_no_modulo_bias_for_large_bounds() {
+        // With range = 3·2⁶² the old `% range` draw returned values below
+        // 2⁶² with probability 1/2 instead of the uniform 1/3 (those values
+        // fit twice into 2⁶⁴, the rest only once). The unbiased draw must
+        // put one third of the mass there.
+        let bound = 3u64 << 62;
+        let mut rng = SplitMix64::seed_from_u64(0xD1CE);
+        let n = 20_000;
+        let small = (0..n).filter(|_| rng.below_inclusive(bound - 1) < (1u64 << 62)).count();
+        let fraction = small as f64 / n as f64;
+        assert!(
+            (fraction - 1.0 / 3.0).abs() < 0.02,
+            "fraction below 2^62 was {fraction}, expected ~1/3 (modulo bias gives ~1/2)"
+        );
+    }
+
+    #[test]
+    fn below_inclusive_stays_in_range_at_the_extremes() {
+        let mut rng = SplitMix64::seed_from_u64(7);
+        for _ in 0..1000 {
+            assert_eq!(rng.below_inclusive(0), 0);
+            assert!(rng.below_inclusive(1) <= 1);
+            assert!(rng.below_inclusive(u64::MAX - 1) < u64::MAX);
+        }
+        // bound == u64::MAX falls through to the raw generator.
+        let a = SplitMix64::seed_from_u64(9).below_inclusive(u64::MAX);
+        let b = SplitMix64::seed_from_u64(9).next_u64();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn below_inclusive_is_deterministic_per_seed() {
+        let draw = |seed| {
+            let mut rng = SplitMix64::seed_from_u64(seed);
+            (0..32).map(|_| rng.below_inclusive(1_000_003)).collect::<Vec<u64>>()
+        };
+        assert_eq!(draw(11), draw(11));
+        assert_ne!(draw(11), draw(12));
+    }
+
+    #[test]
+    fn for_run_zero_is_the_identity_derivation() {
+        let base = NoiseModel::new(0.2, 99);
+        let mut fresh = NoiseModel::new(0.2, 99);
+        let mut derived = base.for_run(0);
+        let a: Vec<u32> = (0..200).map(|_| fresh.sample_noops()).collect();
+        let b: Vec<u32> = (0..200).map(|_| derived.sample_noops()).collect();
+        assert_eq!(a, b, "for_run(0) must replay the base stream exactly");
+        assert_eq!(base.seed(), 99);
+    }
+
+    #[test]
+    fn for_run_produces_distinct_but_reproducible_streams() {
+        let base = NoiseModel::new(0.3, 42);
+        let stream = |model: &NoiseModel, run: u64| {
+            let mut m = model.for_run(run);
+            (0..500).map(|_| m.sample_noops()).collect::<Vec<u32>>()
+        };
+        assert_ne!(stream(&base, 0), stream(&base, 1), "runs must decorrelate");
+        assert_ne!(stream(&base, 1), stream(&base, 2));
+        // The derivation depends only on (seed, run), not on consumed state.
+        let mut consumed = NoiseModel::new(0.3, 42);
+        for _ in 0..100 {
+            consumed.sample_noops();
+        }
+        assert_eq!(stream(&base, 5), stream(&consumed, 5));
+        assert_eq!(base.for_run(7).probability(), 0.3);
     }
 }

@@ -841,6 +841,21 @@ mod tests {
     }
 
     #[test]
+    fn fabric_types_cross_thread_boundaries() {
+        // Batch executors move whole fabrics (and their noise models and run
+        // reports) between pool and worker threads; these bounds are part of
+        // the crate's contract, so losing them (e.g. by introducing an `Rc`
+        // or a raw pointer) must fail loudly here rather than in a
+        // downstream crate.
+        fn assert_send_sync_static<T: Send + Sync + 'static>() {}
+        assert_send_sync_static::<Fabric>();
+        assert_send_sync_static::<NoiseModel>();
+        assert_send_sync_static::<RunReport>();
+        assert_send_sync_static::<FabricParams>();
+        assert_send_sync_static::<FabricError>();
+    }
+
+    #[test]
     fn reset_fabric_reruns_identically_to_a_fresh_one() {
         // A reused (reset) fabric must be indistinguishable from a fresh one:
         // same results, same report — including after a run that left router

@@ -1,0 +1,163 @@
+//! Property-based equivalence tests for the parallel batch executor: a
+//! batch of randomly generated requests — mixed kinds, topologies, explicit
+//! and model-selected schedules — executed by `Executor::run_batch` must be
+//! byte-identical, outcome for outcome (outputs *and* `RunReport`s), to the
+//! same batch run sequentially on a fresh `Session`.
+
+use proptest::prelude::*;
+
+use wse_collectives::prelude::*;
+use wse_fabric::NoiseModel;
+use wse_integration_tests::deterministic_inputs;
+
+fn schedule_strategy() -> impl Strategy<Value = Schedule> {
+    prop_oneof![
+        Just(Schedule::Auto),
+        Just(Schedule::Reduce1d(ReducePattern::Star)),
+        Just(Schedule::Reduce1d(ReducePattern::Chain)),
+        Just(Schedule::Reduce1d(ReducePattern::Tree)),
+        Just(Schedule::Reduce1d(ReducePattern::TwoPhase)),
+        Just(Schedule::Reduce1d(ReducePattern::AutoGen)),
+    ]
+}
+
+fn op_strategy() -> impl Strategy<Value = ReduceOp> {
+    prop_oneof![Just(ReduceOp::Sum), Just(ReduceOp::Max), Just(ReduceOp::Min)]
+}
+
+/// One random batch item. `kind_pick` selects between a 1D Reduce with an
+/// explicit or Auto schedule, an Auto AllReduce, a 2D Reduce, and a
+/// Broadcast, so every batch mixes plan families.
+fn item(
+    kind_pick: u32,
+    p: u32,
+    w: u32,
+    h: u32,
+    b: u32,
+    schedule: Schedule,
+    op: ReduceOp,
+) -> BatchItem {
+    let request = match kind_pick % 4 {
+        0 => CollectiveRequest::reduce(Topology::line(p), b).with_schedule(schedule).with_op(op),
+        1 => CollectiveRequest::allreduce(Topology::line(p), b).with_op(op),
+        2 => CollectiveRequest::reduce(Topology::grid(w, h), b).with_op(op),
+        _ => CollectiveRequest::broadcast(Topology::line(p), b),
+    };
+    let sources =
+        if request.kind == CollectiveKind::Broadcast { 1 } else { request.topology.num_pes() };
+    BatchItem::new(request, deterministic_inputs(sources, b as usize))
+}
+
+fn assert_equivalent(
+    parallel: &[Result<RunOutcome, CollectiveError>],
+    sequential: &[Result<RunOutcome, CollectiveError>],
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(parallel.len(), sequential.len());
+    for (i, (p, s)) in parallel.iter().zip(sequential).enumerate() {
+        match (p, s) {
+            (Ok(p), Ok(s)) => {
+                prop_assert!(p.report == s.report, "item {i}: reports diverge");
+                prop_assert!(p.outputs == s.outputs, "item {i}: outputs diverge");
+            }
+            (Err(p), Err(s)) => prop_assert!(p == s, "item {i}: errors diverge"),
+            _ => prop_assert!(false, "item {i}: one path failed, the other did not"),
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Executor and sequential session agree on arbitrary mixed batches.
+    #[test]
+    fn executor_matches_sequential_session_on_mixed_batches(
+        picks in proptest::collection::vec(0u32..4, 4..10),
+        p in 2u32..14,
+        w in 2u32..5,
+        h in 2u32..5,
+        b in 1u32..40,
+        schedule in schedule_strategy(),
+        op in op_strategy(),
+    ) {
+        let batch: Vec<BatchItem> = picks
+            .iter()
+            .enumerate()
+            .map(|(i, &pick)| {
+                // Vary shapes within the batch so plans, grids and vector
+                // lengths all mix: some items repeat (cache hits), some are
+                // unique (fresh plans).
+                let p = p + (i as u32 % 3);
+                let b = b + (i as u32 % 2) * 3;
+                item(pick, p, w, h, b, schedule, op)
+            })
+            .collect();
+
+        let executor = Executor::new();
+        let parallel = executor.run_batch(&batch);
+        let sequential = Session::new().run_batch(&batch);
+        assert_equivalent(&parallel, &sequential)?;
+        prop_assert_eq!(executor.stats().runs as usize, batch.len());
+    }
+
+    /// The equivalence holds with a thermal-noise model attached: item `i`
+    /// draws noise-run index `i` on both paths, so parallel scheduling
+    /// cannot perturb the per-item realization.
+    #[test]
+    fn executor_matches_sequential_session_under_noise(
+        picks in proptest::collection::vec(0u32..4, 3..8),
+        p in 2u32..12,
+        b in 1u32..32,
+        probability in 0.01f64..0.25,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut config = SessionConfig::default();
+        config.run.noise = Some(NoiseModel::new(probability, seed));
+        let batch: Vec<BatchItem> = picks
+            .iter()
+            .map(|&pick| item(pick, p, 3, 3, b, Schedule::Auto, ReduceOp::Sum))
+            .collect();
+
+        let executor = Executor::with_session_config(config.clone());
+        let parallel = executor.run_batch(&batch);
+        let sequential = Session::with_config(config).run_batch(&batch);
+        assert_equivalent(&parallel, &sequential)?;
+    }
+}
+
+/// Acceptance scenario: a ≥16-item mixed batch (the throughput benchmark's
+/// shape, scaled down) is byte-identical between the two paths, and the
+/// executor amortises plans and fabrics across it.
+#[test]
+fn sixteen_request_mixed_batch_is_byte_identical() {
+    let mut batch = Vec::new();
+    for i in 0..16u32 {
+        // The second half repeats the first half's request shapes, so the
+        // batch exercises both fresh plan generation and shared-cache hits.
+        let v = i % 8;
+        batch.push(item(v, 6 + (v % 4), 3, 4, 8 + (v % 5), Schedule::Auto, ReduceOp::Sum));
+    }
+    let executor = Executor::new();
+    let parallel = executor.run_batch(&batch);
+    let sequential = Session::new().run_batch(&batch);
+    assert_eq!(parallel.len(), sequential.len());
+    for (p, s) in parallel.iter().zip(&sequential) {
+        assert_eq!(p.as_ref().unwrap().report, s.as_ref().unwrap().report);
+        assert_eq!(p.as_ref().unwrap().outputs, s.as_ref().unwrap().outputs);
+    }
+    assert_eq!(executor.stats().runs, 16);
+
+    // Amortisation counters are only deterministic with one worker: under
+    // the default worker count, racing workers may all miss on a fresh
+    // request (the shared cache allows duplicate generation) and check out
+    // fabrics before any check-in.
+    let pinned = Executor::with_config(ExecutorConfig {
+        workers: Some(std::num::NonZeroUsize::new(1).unwrap()),
+        ..ExecutorConfig::default()
+    });
+    pinned.run_batch(&batch);
+    let stats = pinned.stats();
+    assert_eq!(stats.runs, 16);
+    assert!(stats.plan_hits > 0, "repeated shapes must hit the shared cache");
+    assert!(stats.fabric_reuses > 0, "repeated grids must reuse pooled fabrics");
+}
