@@ -70,6 +70,15 @@ pub enum CollectiveError {
         /// The supplied vector's length.
         got: usize,
     },
+    /// A service's bounded submission queue is at capacity — the caller is
+    /// being backpressured. Retry later, or use the blocking
+    /// `CollectiveService::submit` to wait for a slot instead.
+    QueueFull {
+        /// The queue's capacity (the number of requests it holds when full).
+        capacity: usize,
+    },
+    /// The service has been shut down and no longer accepts requests.
+    ServiceStopped,
     /// The clock model attached to a measurement covers a different number
     /// of PEs than the plan's grid.
     ClockModelMismatch {
@@ -115,6 +124,12 @@ impl std::fmt::Display for CollectiveError {
                     "input vector {index} has {got} elements, the plan's vector length is {expected}"
                 )
             }
+            CollectiveError::QueueFull { capacity } => {
+                write!(f, "the submission queue is full ({capacity} requests queued)")
+            }
+            CollectiveError::ServiceStopped => {
+                write!(f, "the service has been shut down and no longer accepts requests")
+            }
             CollectiveError::ClockModelMismatch { clock_pes, plan_pes } => {
                 write!(
                     f,
@@ -154,6 +169,9 @@ mod tests {
         let e = CollectiveError::ClockModelMismatch { clock_pes: 16, plan_pes: 64 };
         assert!(e.to_string().contains("16 PEs"));
         assert!(e.to_string().contains("64"));
+        let e = CollectiveError::QueueFull { capacity: 128 };
+        assert!(e.to_string().contains("128 requests"));
+        assert!(CollectiveError::ServiceStopped.to_string().contains("shut down"));
     }
 
     #[test]

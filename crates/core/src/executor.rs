@@ -17,16 +17,19 @@
 //!
 //! ## Determinism
 //!
-//! Parallelism must not change results. Item `i` of a batch executes with
-//! noise-run index `base + i` (the executor's run counter, advanced by the
-//! batch length), so the thermal-noise realization each item sees is a pure
-//! function of its *position*, never of thread scheduling. A fresh executor
-//! therefore produces byte-identical outcomes — outputs *and*
-//! [`wse_fabric::RunReport`]s — to a fresh [`crate::session::Session`]
-//! running the same batch in order, as long as every item actually executes
-//! (a session does not consume a run index for a rejected item, an executor
-//! does; mixed-validity batches only keep the equivalence up to the first
-//! rejected item when noise is attached).
+//! Parallelism must not change results. A batch runs in two phases: every
+//! item is first resolved and validated (in parallel), then noise-run
+//! indices are assigned **only to the items that will actually execute** —
+//! the `k`-th valid item of the batch gets index `base + k`, where `base` is
+//! the executor's run counter (advanced by the number of valid items). The
+//! thermal-noise realization each item sees is therefore a pure function of
+//! its *position among executed runs*, never of thread scheduling, and a
+//! rejected item consumes no run index — exactly like a
+//! [`crate::session::Session`], whose statistics (and run counter) a
+//! rejected call leaves untouched. A fresh executor thus produces
+//! byte-identical outcomes — outputs *and* [`wse_fabric::RunReport`]s — to a
+//! fresh session running the same batch in order, *including* batches
+//! containing rejected items.
 
 use std::collections::HashMap;
 use std::num::NonZeroUsize;
@@ -288,43 +291,54 @@ impl Executor {
     /// Items are claimed by worker threads off a shared counter, so a slow
     /// item never leaves workers idle while others wait. Failures are
     /// per-item: an invalid request occupies its slot with a typed
-    /// [`CollectiveError`] and does not affect its neighbours.
+    /// [`CollectiveError`] and does not affect its neighbours — and it does
+    /// not consume a noise-run index, so mixed-validity batches stay
+    /// byte-identical to a sequential [`crate::session::Session`] (see the
+    /// module docs).
     pub fn run_batch(&self, batch: &[BatchItem]) -> Vec<Result<RunOutcome, CollectiveError>> {
         let n = batch.len();
         self.stats.batches.fetch_add(1, Ordering::Relaxed);
-        let base = self.run_counter.fetch_add(n as u64, Ordering::Relaxed);
-        let results: Vec<OnceLock<Result<RunOutcome, CollectiveError>>> =
-            (0..n).map(|_| OnceLock::new()).collect();
         let workers = self.worker_count(n);
-        if workers <= 1 {
-            for (i, item) in batch.iter().enumerate() {
-                let _ = results[i].set(self.run_one(item, base + i as u64));
-            }
-        } else {
-            let next = AtomicUsize::new(0);
-            std::thread::scope(|scope| {
-                for _ in 0..workers {
-                    scope.spawn(|| loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        let _ = results[i].set(self.run_one(&batch[i], base + i as u64));
-                    });
-                }
-            });
-        }
-        results
-            .into_iter()
-            .map(|slot| slot.into_inner().expect("every batch slot was claimed by a worker"))
-            .collect()
+        // Phase 1: resolve plans (through the shared cache) and validate
+        // inputs, so we know which items will execute before any run index
+        // is handed out.
+        let prepared = parallel_map(n, workers, |i| self.prepare(&batch[i]));
+        // Run indices go to valid items only, in batch order: the k-th item
+        // that executes gets `base + k`, matching a session whose counter a
+        // rejected call leaves untouched.
+        let valid = prepared.iter().filter(|r| r.is_ok()).count() as u64;
+        let base = self.run_counter.fetch_add(valid, Ordering::Relaxed);
+        let mut rank = 0u64;
+        let run_indices: Vec<u64> = prepared
+            .iter()
+            .map(|r| {
+                let index = base + rank;
+                rank += u64::from(r.is_ok());
+                index
+            })
+            .collect();
+        // Phase 2: execute the valid items.
+        parallel_map(n, workers, |i| match &prepared[i] {
+            Ok(resolved) => self.execute_one(resolved, &batch[i].inputs, run_indices[i]),
+            Err(error) => Err(error.clone()),
+        })
     }
 
-    /// Resolve (through the shared cache) and execute one request with an
-    /// explicit noise-run index.
-    fn run_one(&self, item: &BatchItem, run_index: u64) -> Result<RunOutcome, CollectiveError> {
+    /// Resolve an item's plan through the shared cache and validate its
+    /// inputs against it, without executing anything.
+    fn prepare(&self, item: &BatchItem) -> Result<Arc<ResolvedPlan>, CollectiveError> {
         let resolved = self.plan(&item.request)?;
         check_inputs(&resolved.plan, &item.inputs)?;
+        Ok(resolved)
+    }
+
+    /// Execute an already-validated item with an explicit noise-run index.
+    fn execute_one(
+        &self,
+        resolved: &ResolvedPlan,
+        inputs: &[Vec<f32>],
+        run_index: u64,
+    ) -> Result<RunOutcome, CollectiveError> {
         let run = &self.config.session.run;
         let (mut fabric, reused) = self.pool.checkout(resolved.plan.dim(), run.params);
         if reused {
@@ -334,7 +348,7 @@ impl Executor {
         }
         fabric.set_noise(run.noise.as_ref().map(|noise| noise.for_run(run_index)));
         self.stats.runs.fetch_add(1, Ordering::Relaxed);
-        let result = execute_on(&mut fabric, &resolved.plan, &item.inputs);
+        let result = execute_on(&mut fabric, &resolved.plan, inputs);
         self.pool.check_in(fabric, self.config.max_pooled_per_shape);
         result
     }
@@ -346,6 +360,36 @@ impl Executor {
         };
         configured.min(items).max(1)
     }
+}
+
+/// Evaluate `f(0..n)` on a pool of scoped worker threads (or inline when a
+/// single worker suffices), returning results in index order. Indices are
+/// claimed off a shared counter, so a slow item never leaves workers idle.
+fn parallel_map<R, F>(n: usize, workers: usize, f: F) -> Vec<R>
+where
+    R: Send + Sync,
+    F: Fn(usize) -> R + Sync,
+{
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let results: Vec<OnceLock<R>> = (0..n).map(|_| OnceLock::new()).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let _ = results[i].set(f(i));
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every index was claimed by a worker"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -513,6 +557,33 @@ mod tests {
         assert!(matches!(results[2], Err(CollectiveError::InvalidRequest { .. })));
         assert!(results[3].is_ok());
         assert_eq!(executor.stats().runs, 2, "rejected items never touch a fabric");
+    }
+
+    #[test]
+    fn rejected_items_do_not_consume_noise_run_indices() {
+        // Regression for the PR 4 divergence: a rejected item used to
+        // advance the executor's run counter but not a session's, so noisy
+        // mixed-validity batches diverged from the first rejection onwards.
+        let mut config = SessionConfig::default();
+        config.run.noise = Some(NoiseModel::new(0.12, 33));
+        let good = BatchItem::new(CollectiveRequest::reduce(Topology::line(7), 24), inputs(7, 24));
+        let wrong_count =
+            BatchItem::new(CollectiveRequest::reduce(Topology::line(7), 24), inputs(5, 24));
+        let bad_request =
+            BatchItem::new(CollectiveRequest::reduce(Topology::line(7), 0), inputs(7, 24));
+        let batch =
+            vec![good.clone(), wrong_count.clone(), good.clone(), bad_request, good.clone()];
+
+        let executor = Executor::with_session_config(config.clone());
+        let parallel = executor.run_batch(&batch);
+        let sequential = Session::with_config(config).run_batch(&batch);
+        assert_equivalent(&parallel, &sequential);
+        assert_eq!(executor.stats().runs, 3, "only the valid items execute");
+
+        // The next batch continues the executed-run numbering (3, 4, ...).
+        let follow_up = executor.run_batch(&[good.clone(), good]);
+        assert!(follow_up.iter().all(Result::is_ok));
+        assert_eq!(executor.stats().runs, 5);
     }
 
     #[test]

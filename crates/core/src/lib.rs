@@ -20,9 +20,15 @@
 //!   through an LRU **plan cache** and executes them on a reused,
 //!   resettable fabric — generate once, run many times;
 //! * an [`Executor`] serves a **batch** of independent requests in
-//!   parallel: worker threads share the plan cache (lock-guarded, `Arc`ed
-//!   plans) and check fabrics out of a per-shape **pool**, with results
-//!   byte-identical to the sequential session (see [`executor`]).
+//!   parallel: worker threads share the plan cache (sharded by request
+//!   hash, `Arc`ed plans) and check fabrics out of a per-shape **pool**,
+//!   with results byte-identical to the sequential session (see
+//!   [`executor`]);
+//! * a [`CollectiveService`] is the **serving loop** on top: a bounded
+//!   submission queue accepting requests continuously, a batcher thread
+//!   forming batches by deadline or size, completion handles
+//!   ([`ResponseHandle`]) with per-request latency, backpressure and
+//!   graceful draining shutdown (see [`serve`]).
 //!
 //! ## Quickstart
 //!
@@ -91,6 +97,7 @@ pub mod reduce;
 pub mod request;
 pub mod runner;
 pub mod select;
+pub mod serve;
 pub mod session;
 pub mod tree_plan;
 
@@ -112,6 +119,10 @@ pub use runner::{
 pub use select::{
     select_allreduce_1d, select_allreduce_2d, select_reduce_1d, select_reduce_2d, SelectedPlan,
 };
+pub use serve::{
+    CollectiveService, FlushReason, LatencySummary, Response, ResponseHandle, ServiceConfig,
+    ServiceStats,
+};
 pub use session::{Session, SessionConfig, SessionStats};
 
 /// Convenience re-exports for applications.
@@ -129,6 +140,9 @@ pub mod prelude {
     };
     pub use crate::select::{
         select_allreduce_1d, select_allreduce_2d, select_reduce_1d, select_reduce_2d,
+    };
+    pub use crate::serve::{
+        CollectiveService, LatencySummary, Response, ResponseHandle, ServiceConfig, ServiceStats,
     };
     pub use crate::session::{Session, SessionConfig, SessionStats};
     pub use wse_fabric::geometry::{Coord, GridDim};

@@ -1,0 +1,154 @@
+//! Deadline/size batch formation.
+//!
+//! The batcher accumulates submitted requests and flushes a batch to the
+//! executor when either trigger fires:
+//!
+//! * **size** — the accumulator reaches `max_batch` items (throughput
+//!   under load: full batches maximise executor parallelism), or
+//! * **deadline** — `max_wait` has elapsed since the *oldest* accumulated
+//!   item arrived (tail latency under light load: a lone request is never
+//!   held longer than the batch window).
+//!
+//! The accumulator is pure state driven by explicit [`Instant`]s — the
+//! service thread feeds it the real clock, the unit tests feed it a
+//! deterministic one — so the flush conditions are testable without timing
+//! races.
+
+use std::time::{Duration, Instant};
+
+/// Why a batch was flushed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushReason {
+    /// The accumulator reached `max_batch` items.
+    Size,
+    /// `max_wait` elapsed since the oldest accumulated item arrived.
+    Deadline,
+    /// The service is shutting down and drained its remaining items.
+    Shutdown,
+}
+
+/// The deadline/size accumulator. Generic over the item type so the flush
+/// logic can be unit-tested with plain values.
+#[derive(Debug)]
+pub(crate) struct Batcher<T> {
+    max_batch: usize,
+    max_wait: Duration,
+    items: Vec<T>,
+    opened_at: Option<Instant>,
+}
+
+impl<T> Batcher<T> {
+    pub(crate) fn new(max_batch: usize, max_wait: Duration) -> Self {
+        Batcher { max_batch: max_batch.max(1), max_wait, items: Vec::new(), opened_at: None }
+    }
+
+    /// Number of accumulated (not yet flushed) items.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Accept an item arriving at `now`; returns a full batch if this item
+    /// completed one (the size trigger).
+    pub(crate) fn push(&mut self, item: T, now: Instant) -> Option<(Vec<T>, FlushReason)> {
+        if self.items.is_empty() {
+            self.opened_at = Some(now);
+        }
+        self.items.push(item);
+        (self.items.len() >= self.max_batch).then(|| (self.take(), FlushReason::Size))
+    }
+
+    /// The instant at which the current partial batch must flush: `max_wait`
+    /// after its oldest item arrived. `None` while the accumulator is empty
+    /// (nothing is waiting, so there is nothing to deadline).
+    pub(crate) fn deadline(&self) -> Option<Instant> {
+        self.opened_at.map(|opened_at| opened_at + self.max_wait)
+    }
+
+    /// Flush the partial batch if its deadline has passed at `now`.
+    pub(crate) fn flush_due(&mut self, now: Instant) -> Option<(Vec<T>, FlushReason)> {
+        match self.deadline() {
+            Some(deadline) if now >= deadline => Some((self.take(), FlushReason::Deadline)),
+            _ => None,
+        }
+    }
+
+    /// Flush whatever is accumulated, regardless of deadline (shutdown
+    /// drain). `None` when empty.
+    pub(crate) fn flush_remaining(&mut self) -> Option<(Vec<T>, FlushReason)> {
+        (!self.items.is_empty()).then(|| (self.take(), FlushReason::Shutdown))
+    }
+
+    fn take(&mut self) -> Vec<T> {
+        self.opened_at = None;
+        std::mem::take(&mut self.items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WAIT: Duration = Duration::from_millis(10);
+
+    fn at(base: Instant, millis: u64) -> Instant {
+        base + Duration::from_millis(millis)
+    }
+
+    /// Deterministic-clock proof of the size path: the `max_batch`-th item
+    /// flushes the batch immediately, well before the deadline.
+    #[test]
+    fn size_trigger_flushes_a_full_batch() {
+        let base = Instant::now();
+        let mut batcher = Batcher::new(3, WAIT);
+        assert!(batcher.push('a', at(base, 0)).is_none());
+        assert!(batcher.push('b', at(base, 1)).is_none());
+        let (batch, reason) = batcher.push('c', at(base, 2)).expect("third item fills the batch");
+        assert_eq!(batch, vec!['a', 'b', 'c']);
+        assert_eq!(reason, FlushReason::Size);
+        assert_eq!(batcher.len(), 0);
+        assert_eq!(batcher.deadline(), None, "a flushed accumulator has no deadline");
+    }
+
+    /// Deterministic-clock proof of the deadline path: a partial batch
+    /// flushes exactly at `opened_at + max_wait`, not before, and the
+    /// deadline is anchored at the *oldest* item.
+    #[test]
+    fn deadline_trigger_flushes_a_partial_batch_at_max_wait() {
+        let base = Instant::now();
+        let mut batcher = Batcher::new(16, WAIT);
+        assert!(batcher.push(1u32, at(base, 0)).is_none());
+        // A later item does not push the deadline out.
+        assert!(batcher.push(2u32, at(base, 7)).is_none());
+        assert_eq!(batcher.deadline(), Some(at(base, 10)));
+        // One tick early: not due yet.
+        assert!(batcher.flush_due(at(base, 9)).is_none());
+        assert_eq!(batcher.len(), 2);
+        // At the deadline: the partial batch flushes.
+        let (batch, reason) = batcher.flush_due(at(base, 10)).expect("due at max_wait");
+        assert_eq!(batch, vec![1, 2]);
+        assert_eq!(reason, FlushReason::Deadline);
+        // The next arrival opens a fresh window anchored at its own time.
+        assert!(batcher.push(3u32, at(base, 25)).is_none());
+        assert_eq!(batcher.deadline(), Some(at(base, 35)));
+    }
+
+    #[test]
+    fn shutdown_drains_whatever_is_accumulated() {
+        let base = Instant::now();
+        let mut batcher = Batcher::new(16, WAIT);
+        assert!(batcher.flush_remaining().is_none(), "nothing to drain when empty");
+        batcher.push('x', at(base, 0));
+        let (batch, reason) = batcher.flush_remaining().unwrap();
+        assert_eq!(batch, vec!['x']);
+        assert_eq!(reason, FlushReason::Shutdown);
+    }
+
+    #[test]
+    fn max_batch_of_one_flushes_every_push() {
+        let base = Instant::now();
+        let mut batcher = Batcher::new(1, WAIT);
+        let (batch, reason) = batcher.push(9u8, at(base, 0)).unwrap();
+        assert_eq!((batch, reason), (vec![9], FlushReason::Size));
+    }
+}

@@ -1,0 +1,445 @@
+//! The async serving front-end: a continuously accepting collective
+//! service.
+//!
+//! [`crate::executor::Executor::run_batch`] is synchronous and
+//! caller-assembled: someone has to gather a batch before anything runs. A
+//! [`CollectiveService`] closes that gap — it is the serving loop that turns
+//! the parallel library into a service:
+//!
+//! * submitters hand in [`CollectiveRequest`]s continuously through a
+//!   **bounded submission queue** ([`queue`]) and immediately get a
+//!   [`ResponseHandle`] back ([`handle`]);
+//! * a dedicated **batcher thread** forms batches by *deadline or size*
+//!   ([`batcher`]): a batch is dispatched to the executor as soon as it
+//!   holds `max_batch` requests, or `max_wait` after its oldest request
+//!   arrived, whichever comes first;
+//! * the queue bound is the **backpressure** mechanism:
+//!   [`CollectiveService::try_submit`] fails fast with
+//!   [`CollectiveError::QueueFull`], [`CollectiveService::submit`] blocks
+//!   until a slot frees up;
+//! * [`CollectiveService::shutdown`] closes the queue, **drains** every
+//!   already-accepted request, fulfils its handle and joins the batcher —
+//!   no accepted request is ever dropped;
+//! * [`ServiceStats`] ([`stats`]) exposes queue depth, batch formation
+//!   (count, flush reasons, size histogram) and enqueue-to-complete
+//!   latency (p50/p99/mean/max).
+//!
+//! ## Determinism
+//!
+//! Batching must not change results. The batcher dispatches batches in
+//! submission order and the executor assigns noise-run indices only to
+//! items that actually execute, so the responses a service produces are
+//! byte-identical to a fresh sequential [`crate::session::Session`] running
+//! the same requests in submission order — regardless of how the traffic
+//! happened to be cut into batches, and including rejected requests (which
+//! consume no run index on either path). The integration proptests submit
+//! under randomised batch windows and verify exactly this.
+//!
+//! ```
+//! use std::time::Duration;
+//! use wse_collectives::prelude::*;
+//!
+//! let service = CollectiveService::with_config(ServiceConfig {
+//!     max_batch: 8,
+//!     max_wait: Duration::from_micros(200),
+//!     ..ServiceConfig::default()
+//! });
+//! let handles: Vec<ResponseHandle> = (0..16)
+//!     .map(|i| {
+//!         let request = CollectiveRequest::reduce(Topology::line(8), 32);
+//!         let inputs = (0..8).map(|p| vec![(p + i) as f32; 32]).collect();
+//!         service.submit(request, inputs).expect("service accepts while running")
+//!     })
+//!     .collect();
+//! for handle in handles {
+//!     let response = handle.wait();
+//!     assert!(response.result.is_ok());
+//!     assert!(response.latency > Duration::ZERO);
+//! }
+//! let stats = service.shutdown();
+//! assert_eq!(stats.completed, 16);
+//! assert!(stats.batches >= 2, "16 requests cannot fit one batch of 8");
+//! ```
+
+pub mod batcher;
+pub mod handle;
+pub mod queue;
+pub mod stats;
+
+pub use batcher::FlushReason;
+pub use handle::{Response, ResponseHandle};
+pub use stats::{LatencySummary, ServiceStats};
+
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::error::CollectiveError;
+use crate::executor::{BatchItem, Executor, ExecutorConfig, ExecutorStats};
+use crate::request::CollectiveRequest;
+
+use batcher::Batcher;
+use handle::ResponseSlot;
+use queue::{Popped, SubmissionQueue, TryPushError};
+use stats::StatsRecorder;
+
+/// Configuration of a [`CollectiveService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// The executor backing the service: machine model, fabric parameters /
+    /// noise, plan-cache capacity, worker count, fabric-pool bound.
+    pub executor: ExecutorConfig,
+    /// Bound of the submission queue. A full queue backpressures:
+    /// [`CollectiveService::try_submit`] fails with
+    /// [`CollectiveError::QueueFull`], [`CollectiveService::submit`] blocks.
+    pub queue_capacity: usize,
+    /// Dispatch a batch as soon as it holds this many requests.
+    pub max_batch: usize,
+    /// Dispatch a partial batch this long after its oldest request arrived,
+    /// even if it is not full — the tail-latency bound a lone request pays
+    /// under light load.
+    pub max_wait: Duration,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            executor: ExecutorConfig::default(),
+            queue_capacity: 256,
+            max_batch: 16,
+            max_wait: Duration::from_micros(500),
+        }
+    }
+}
+
+/// One accepted request travelling from the queue to the executor.
+#[derive(Debug)]
+struct Pending {
+    request: CollectiveRequest,
+    inputs: Vec<Vec<f32>>,
+    slot: Arc<ResponseSlot>,
+    submitted_at: Instant,
+}
+
+/// State shared between submitters and the batcher thread.
+#[derive(Debug)]
+struct Shared {
+    queue: SubmissionQueue<Pending>,
+    executor: Executor,
+    stats: StatsRecorder,
+    max_batch: usize,
+    max_wait: Duration,
+}
+
+/// A continuously serving collective front-end. See the [module
+/// docs](self) for the architecture.
+///
+/// The service is `Sync`: submitters on any number of threads share one
+/// `&CollectiveService` (or an `Arc`). Dropping the service shuts it down
+/// gracefully (drain, then join).
+#[derive(Debug)]
+pub struct CollectiveService {
+    shared: Arc<Shared>,
+    batcher: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl Default for CollectiveService {
+    fn default() -> Self {
+        CollectiveService::new()
+    }
+}
+
+impl CollectiveService {
+    /// A service over the paper's WSE-2 machine with default batching.
+    pub fn new() -> Self {
+        CollectiveService::with_config(ServiceConfig::default())
+    }
+
+    /// A service with full configuration control. Spawns the batcher
+    /// thread immediately; the service accepts requests as soon as this
+    /// returns.
+    pub fn with_config(config: ServiceConfig) -> Self {
+        let shared = Arc::new(Shared {
+            queue: SubmissionQueue::new(config.queue_capacity),
+            executor: Executor::with_config(config.executor),
+            stats: StatsRecorder::default(),
+            max_batch: config.max_batch.max(1),
+            max_wait: config.max_wait,
+        });
+        let batcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("collective-batcher".into())
+                .spawn(move || batcher_loop(&shared))
+                .expect("spawning the batcher thread")
+        };
+        CollectiveService { shared, batcher: Mutex::new(Some(batcher)) }
+    }
+
+    /// Submit a request, blocking while the queue is at capacity.
+    ///
+    /// Returns the completion handle immediately once the request is
+    /// queued; fails with [`CollectiveError::ServiceStopped`] if the
+    /// service has been shut down (including while blocked waiting for a
+    /// slot).
+    pub fn submit(
+        &self,
+        request: CollectiveRequest,
+        inputs: Vec<Vec<f32>>,
+    ) -> Result<ResponseHandle, CollectiveError> {
+        let (pending, handle) = self.pending(request, inputs);
+        match self.shared.queue.push(pending) {
+            Ok(()) => {
+                self.shared.stats.record_submitted();
+                Ok(handle)
+            }
+            Err(_) => Err(CollectiveError::ServiceStopped),
+        }
+    }
+
+    /// Submit a request without blocking.
+    ///
+    /// Fails fast with [`CollectiveError::QueueFull`] when the queue is at
+    /// capacity (the backpressure signal — retry later or fall back to the
+    /// blocking [`submit`](CollectiveService::submit)), or
+    /// [`CollectiveError::ServiceStopped`] after shutdown.
+    pub fn try_submit(
+        &self,
+        request: CollectiveRequest,
+        inputs: Vec<Vec<f32>>,
+    ) -> Result<ResponseHandle, CollectiveError> {
+        let (pending, handle) = self.pending(request, inputs);
+        match self.shared.queue.try_push(pending) {
+            Ok(()) => {
+                self.shared.stats.record_submitted();
+                Ok(handle)
+            }
+            Err(TryPushError::Full(_)) => {
+                self.shared.stats.record_rejected();
+                Err(CollectiveError::QueueFull { capacity: self.shared.queue.capacity() })
+            }
+            Err(TryPushError::Closed(_)) => Err(CollectiveError::ServiceStopped),
+        }
+    }
+
+    /// A point-in-time snapshot of the service's counters.
+    pub fn stats(&self) -> ServiceStats {
+        self.shared.stats.snapshot(self.shared.queue.len())
+    }
+
+    /// Amortisation counters of the backing executor (plan cache, fabric
+    /// pool).
+    pub fn executor_stats(&self) -> ExecutorStats {
+        self.shared.executor.stats()
+    }
+
+    /// Shut down gracefully: stop accepting, drain every already-accepted
+    /// request (their handles are fulfilled), join the batcher thread and
+    /// return the final statistics. Idempotent — later calls (and the
+    /// implicit shutdown on drop) are no-ops.
+    pub fn shutdown(&self) -> ServiceStats {
+        self.shared.queue.close();
+        let batcher = self.batcher.lock().unwrap_or_else(|poisoned| poisoned.into_inner()).take();
+        if let Some(batcher) = batcher {
+            let _ = batcher.join();
+        }
+        self.stats()
+    }
+
+    fn pending(
+        &self,
+        request: CollectiveRequest,
+        inputs: Vec<Vec<f32>>,
+    ) -> (Pending, ResponseHandle) {
+        let (handle, slot) = ResponseHandle::new();
+        (Pending { request, inputs, slot, submitted_at: Instant::now() }, handle)
+    }
+}
+
+impl Drop for CollectiveService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The batcher thread: pop → accumulate → flush on size/deadline → execute,
+/// until the queue is closed and drained.
+fn batcher_loop(shared: &Shared) {
+    let mut batcher: Batcher<Pending> = Batcher::new(shared.max_batch, shared.max_wait);
+    loop {
+        match shared.queue.pop(batcher.deadline()) {
+            Popped::Item(pending) => {
+                if let Some((batch, reason)) = batcher.push(pending, Instant::now()) {
+                    execute_batch(shared, batch, reason);
+                }
+            }
+            Popped::TimedOut => {
+                if let Some((batch, reason)) = batcher.flush_due(Instant::now()) {
+                    execute_batch(shared, batch, reason);
+                }
+            }
+            Popped::Closed => {
+                // Shutdown drain: the queue is empty and closed; whatever
+                // is still accumulated forms the final batch.
+                if let Some((batch, reason)) = batcher.flush_remaining() {
+                    execute_batch(shared, batch, reason);
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// Dispatch one formed batch to the executor and fulfil its handles.
+fn execute_batch(shared: &Shared, batch: Vec<Pending>, reason: FlushReason) {
+    shared.stats.record_batch(batch.len(), reason);
+    let mut slots = Vec::with_capacity(batch.len());
+    let items: Vec<BatchItem> = batch
+        .into_iter()
+        .map(|pending| {
+            slots.push((pending.slot, pending.submitted_at));
+            BatchItem::new(pending.request, pending.inputs)
+        })
+        .collect();
+    let results = shared.executor.run_batch(&items);
+    let completed_at = Instant::now();
+    for ((slot, submitted_at), result) in slots.into_iter().zip(results) {
+        let latency = completed_at.duration_since(submitted_at);
+        shared.stats.record_completion(latency);
+        slot.fulfil(Response { result, latency });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Topology;
+    use crate::session::SessionConfig;
+
+    fn inputs(p: usize, b: usize) -> Vec<Vec<f32>> {
+        (0..p).map(|i| (0..b).map(|j| ((i * 3 + j) % 17) as f32 * 0.5 - 4.0).collect()).collect()
+    }
+
+    fn reduce_request(p: u32, b: u32) -> CollectiveRequest {
+        CollectiveRequest::reduce(Topology::line(p), b)
+    }
+
+    #[test]
+    fn size_trigger_completes_without_waiting_for_the_deadline() {
+        // max_wait is far longer than the test: completion can only come
+        // from the size flush.
+        let service = CollectiveService::with_config(ServiceConfig {
+            max_batch: 2,
+            max_wait: Duration::from_secs(60),
+            ..ServiceConfig::default()
+        });
+        let a = service.submit(reduce_request(6, 8), inputs(6, 8)).unwrap();
+        let b = service.submit(reduce_request(6, 8), inputs(6, 8)).unwrap();
+        assert!(a.wait().result.is_ok());
+        assert!(b.wait().result.is_ok());
+        let stats = service.stats();
+        assert_eq!(stats.size_flushes, 1);
+        assert_eq!(stats.deadline_flushes, 0);
+        assert_eq!(stats.batch_size_histogram, vec![0, 1]);
+    }
+
+    #[test]
+    fn deadline_trigger_flushes_a_partial_batch() {
+        // One request, a roomy batch: only the deadline can flush it.
+        let service = CollectiveService::with_config(ServiceConfig {
+            max_batch: 64,
+            max_wait: Duration::from_millis(1),
+            ..ServiceConfig::default()
+        });
+        let handle = service.submit(reduce_request(5, 6), inputs(5, 6)).unwrap();
+        let response = handle.wait();
+        assert!(response.result.is_ok());
+        assert!(response.latency >= Duration::from_millis(1), "paid at least the batch window");
+        let stats = service.stats();
+        assert_eq!(stats.deadline_flushes, 1);
+        assert_eq!(stats.size_flushes, 0);
+    }
+
+    #[test]
+    fn shutdown_drains_accepted_requests() {
+        let service = CollectiveService::with_config(ServiceConfig {
+            max_batch: 64,
+            max_wait: Duration::from_secs(60),
+            ..ServiceConfig::default()
+        });
+        let handles: Vec<ResponseHandle> =
+            (0..5).map(|_| service.submit(reduce_request(4, 4), inputs(4, 4)).unwrap()).collect();
+        let stats = service.shutdown();
+        assert_eq!(stats.completed, 5, "shutdown fulfils every accepted request");
+        assert!(stats.shutdown_flushes >= 1);
+        for handle in handles {
+            assert!(handle.wait().result.is_ok());
+        }
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_service_stopped() {
+        let service = CollectiveService::new();
+        service.shutdown();
+        let err = service.submit(reduce_request(4, 4), inputs(4, 4)).unwrap_err();
+        assert_eq!(err, CollectiveError::ServiceStopped);
+        let err = service.try_submit(reduce_request(4, 4), inputs(4, 4)).unwrap_err();
+        assert_eq!(err, CollectiveError::ServiceStopped);
+        // Shutdown is idempotent.
+        service.shutdown();
+    }
+
+    #[test]
+    fn invalid_requests_are_rejected_through_their_handles() {
+        let service = CollectiveService::with_config(ServiceConfig {
+            max_wait: Duration::from_micros(100),
+            ..ServiceConfig::default()
+        });
+        let bad_request = service.submit(reduce_request(4, 0), inputs(4, 4)).unwrap();
+        let wrong_inputs = service.submit(reduce_request(4, 4), inputs(3, 4)).unwrap();
+        assert!(matches!(bad_request.wait().result, Err(CollectiveError::InvalidRequest { .. })));
+        assert!(matches!(
+            wrong_inputs.wait().result,
+            Err(CollectiveError::InputCountMismatch { .. })
+        ));
+        service.shutdown();
+    }
+
+    #[test]
+    fn service_results_match_a_sequential_session() {
+        // Deterministic smoke of the byte-identity contract (the proptests
+        // cover randomised traffic): mixed requests, noise attached.
+        let mut session_config = SessionConfig::default();
+        session_config.run.noise = Some(wse_fabric::NoiseModel::new(0.1, 11));
+        let requests: Vec<(CollectiveRequest, Vec<Vec<f32>>)> = (0..7)
+            .map(|i| {
+                let p = 4 + (i % 3) as u32;
+                let b = 6 + (i % 2) as u32 * 4;
+                (reduce_request(p, b), inputs(p as usize, b as usize))
+            })
+            .collect();
+
+        let service = CollectiveService::with_config(ServiceConfig {
+            executor: ExecutorConfig {
+                session: session_config.clone(),
+                ..ExecutorConfig::default()
+            },
+            max_batch: 3,
+            max_wait: Duration::from_micros(200),
+            ..ServiceConfig::default()
+        });
+        let handles: Vec<ResponseHandle> = requests
+            .iter()
+            .map(|(request, data)| service.submit(*request, data.clone()).unwrap())
+            .collect();
+        let served: Vec<Response> = handles.into_iter().map(ResponseHandle::wait).collect();
+        service.shutdown();
+
+        let mut session = crate::session::Session::with_config(session_config);
+        for ((request, data), response) in requests.iter().zip(&served) {
+            let expected = session.run(request, data).unwrap();
+            let got = response.result.as_ref().unwrap();
+            assert_eq!(got.report, expected.report);
+            assert_eq!(got.outputs, expected.outputs);
+        }
+    }
+}

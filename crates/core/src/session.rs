@@ -222,11 +222,12 @@ impl Session {
     /// Resolve and execute a batch of requests sequentially, in order.
     ///
     /// This is the serial counterpart of
-    /// [`crate::executor::Executor::run_batch`]: item `i` of a batch run on
-    /// a fresh session and item `i` of the same batch run on a fresh
-    /// executor produce byte-identical outcomes (both assign noise-run
-    /// index `i`), which is what the equivalence tests and the throughput
-    /// benchmark compare.
+    /// [`crate::executor::Executor::run_batch`]: a batch run on a fresh
+    /// session and the same batch run on a fresh executor produce
+    /// byte-identical outcomes — both assign noise-run indices to the items
+    /// that actually execute, in order, and neither consumes an index for a
+    /// rejected item — which is what the equivalence tests and the
+    /// throughput benchmark compare.
     pub fn run_batch(
         &mut self,
         batch: &[crate::executor::BatchItem],

@@ -3,7 +3,10 @@
 //! The examples are small, self-contained programs that exercise the public
 //! API of the collectives library on scenarios from the paper's motivation:
 //! a quickstart, a distributed GEMV, a stencil solver's per-iteration
-//! AllReduce, model-driven autotuning, and code generation.
+//! AllReduce, model-driven autotuning, code generation, parallel batch
+//! execution (`batch_serving`), and the asynchronous serving front-end
+//! (`serving_loop`: submission queue, deadline/size batching, completion
+//! handles).
 
 use wse_collectives::prelude::*;
 

@@ -1,0 +1,107 @@
+//! Serving loop: submit a continuous stream of mixed-size collective
+//! requests to a `CollectiveService` and read the answers back through
+//! completion handles.
+//!
+//! Demonstrates the asynchronous front-end on top of the batch executor:
+//!
+//! 1. stand up a `CollectiveService` — a bounded submission queue feeding a
+//!    batcher thread that cuts batches by **size** (a full `max_batch`) or
+//!    **deadline** (`max_wait` after the oldest queued request arrived),
+//! 2. submit mixed traffic the way a serving workload produces it: bursts
+//!    of small latency-sensitive reductions interleaved with large
+//!    throughput-bound grid collectives, each submission returning a
+//!    `ResponseHandle` immediately,
+//! 3. wait on the handles, verify every answer against the analytically
+//!    expected reduction, and read the per-request enqueue-to-complete
+//!    latency the service measured,
+//! 4. print the `ServiceStats`: batches formed by each trigger, the
+//!    batch-size histogram, and the p50/p99 latency summary.
+//!
+//! Run with `cargo run --release -p wse-examples --bin serving_loop`
+//! (add `--quick` for the CI smoke configuration).
+
+use std::time::Duration;
+
+use wse_collectives::prelude::*;
+use wse_examples::sample_vector;
+
+fn main() {
+    let quick = std::env::args().skip(1).any(|a| a == "--quick");
+    let (bursts, burst_len) = if quick { (4, 6) } else { (12, 8) };
+
+    // 1. The service: a 64-deep queue, batches of up to 8 requests, and a
+    //    200 us batch window so a lone request is never held long.
+    let service = CollectiveService::with_config(ServiceConfig {
+        queue_capacity: 64,
+        max_batch: 8,
+        max_wait: Duration::from_micros(200),
+        ..ServiceConfig::default()
+    });
+    println!("# Serving loop: {} bursts of {} mixed-size requests\n", bursts, burst_len);
+
+    // 2. Mixed-size traffic: every burst carries small line reductions, a
+    //    medium AllReduce and one large grid Reduce.
+    let mut submitted = Vec::new();
+    for burst in 0..bursts {
+        for slot in 0..burst_len {
+            let (request, sources) = match slot % 4 {
+                0 | 1 => (CollectiveRequest::reduce(Topology::line(8), 32), 8),
+                2 => (CollectiveRequest::allreduce(Topology::line(16), 128), 16),
+                _ => (CollectiveRequest::reduce(Topology::grid(6, 6), 256), 36),
+            };
+            let inputs: Vec<Vec<f32>> = (0..sources)
+                .map(|pe| sample_vector(pe + burst * 1000 + slot, request.vector_len as usize))
+                .collect();
+            let handle = service
+                .submit(request, inputs.clone())
+                .expect("the service accepts requests until shutdown");
+            submitted.push((request, inputs, handle));
+        }
+        // A gap between bursts lets the deadline trigger flush partial
+        // batches; inside a burst the size trigger cuts full ones.
+        std::thread::sleep(Duration::from_micros(500));
+    }
+
+    // 3. Collect and verify every response.
+    let mut verified = 0usize;
+    let mut worst_latency = Duration::ZERO;
+    for (request, inputs, handle) in submitted {
+        let response = handle.wait();
+        let outcome = response.result.expect("all submitted requests are valid");
+        let expected = expected_reduce(&inputs, request.op);
+        match request.kind {
+            CollectiveKind::Reduce | CollectiveKind::AllReduce => {
+                assert_outputs_close(&outcome, &expected, 1e-4);
+            }
+            CollectiveKind::Broadcast => {}
+        }
+        verified += 1;
+        worst_latency = worst_latency.max(response.latency);
+    }
+    println!("verified {verified} responses against the analytic reduction");
+    println!("worst enqueue-to-complete latency: {:.3} ms\n", worst_latency.as_secs_f64() * 1e3);
+
+    // 4. The service's own accounting.
+    let stats = service.shutdown();
+    println!("submitted:        {}", stats.submitted);
+    println!("completed:        {}", stats.completed);
+    println!(
+        "batches:          {} ({} by size, {} by deadline, {} at shutdown)",
+        stats.batches, stats.size_flushes, stats.deadline_flushes, stats.shutdown_flushes
+    );
+    println!("mean batch size:  {:.2}", stats.mean_batch_size());
+    print!("size histogram:   ");
+    for (size, count) in stats.batch_size_histogram.iter().enumerate() {
+        if *count > 0 {
+            print!("{}x{} ", count, size + 1);
+        }
+    }
+    println!();
+    println!(
+        "latency:          p50 {:>8.3} ms   p99 {:>8.3} ms   mean {:>8.3} ms   max {:>8.3} ms",
+        stats.latency.p50.as_secs_f64() * 1e3,
+        stats.latency.p99.as_secs_f64() * 1e3,
+        stats.latency.mean.as_secs_f64() * 1e3,
+        stats.latency.max.as_secs_f64() * 1e3,
+    );
+}

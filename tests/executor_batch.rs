@@ -100,6 +100,47 @@ proptest! {
         prop_assert_eq!(executor.stats().runs as usize, batch.len());
     }
 
+    /// The equivalence holds on batches containing rejected items: a
+    /// rejected item consumes no noise-run index on either path, so the
+    /// realizations of the valid items that follow it stay aligned with a
+    /// sequential session (the PR 4 noise-index divergence, fixed).
+    #[test]
+    fn executor_matches_sequential_session_with_rejected_items(
+        codes in proptest::collection::vec(0u32..12, 4..12),
+        p in 2u32..12,
+        b in 2u32..32,
+        probability in 0.01f64..0.25,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut config = SessionConfig::default();
+        config.run.noise = Some(NoiseModel::new(probability, seed));
+        let batch: Vec<BatchItem> = codes
+            .iter()
+            .map(|&code| {
+                let mut item = item(code % 4, p, 3, 3, b, Schedule::Auto, ReduceOp::Sum);
+                match (code / 4) % 3 {
+                    // Valid item.
+                    0 => {}
+                    // Wrong input count: rejected at validation.
+                    1 => {
+                        item.inputs.pop();
+                    }
+                    // Invalid request: rejected at plan resolution.
+                    _ => item.request.vector_len = 0,
+                }
+                item
+            })
+            .collect();
+
+        let executor = Executor::with_session_config(config.clone());
+        let parallel = executor.run_batch(&batch);
+        let sequential = Session::with_config(config).run_batch(&batch);
+        assert_equivalent(&parallel, &sequential)?;
+        let valid = parallel.iter().filter(|r| r.is_ok()).count();
+        // Only valid items may consume runs (and run indices).
+        prop_assert_eq!(executor.stats().runs as usize, valid);
+    }
+
     /// The equivalence holds with a thermal-noise model attached: item `i`
     /// draws noise-run index `i` on both paths, so parallel scheduling
     /// cannot perturb the per-item realization.

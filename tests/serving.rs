@@ -1,0 +1,230 @@
+//! Integration tests for the serving front-end: a `CollectiveService`'s
+//! responses must be byte-identical to a sequential `Session` over the same
+//! requests in submission order — whatever the batch windows, submission
+//! pacing or shutdown timing did to the batching — and the bounded queue
+//! must backpressure instead of buffering without limit.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use wse_collectives::prelude::*;
+use wse_collectives::ExecutorConfig;
+use wse_fabric::NoiseModel;
+use wse_integration_tests::deterministic_inputs;
+
+/// Build one request + inputs from a compact code; some codes produce
+/// requests that are rejected (wrong input count, zero-length vectors) so
+/// traffic mixes valid and invalid work like a real front-end sees.
+fn traffic_item(code: u32, p: u32, b: u32) -> (CollectiveRequest, Vec<Vec<f32>>) {
+    let request = match code % 4 {
+        0 => CollectiveRequest::reduce(Topology::line(p), b),
+        1 => CollectiveRequest::allreduce(Topology::line(p), b),
+        2 => CollectiveRequest::reduce(Topology::grid(3, 3), b),
+        _ => CollectiveRequest::broadcast(Topology::line(p), b),
+    };
+    let sources =
+        if request.kind == CollectiveKind::Broadcast { 1 } else { request.topology.num_pes() };
+    let mut inputs = deterministic_inputs(sources, b as usize);
+    let mut request = request;
+    match (code / 4) % 4 {
+        // Valid item (twice as likely as each corruption).
+        0 | 1 => {}
+        // Wrong input count: rejected at validation.
+        2 => {
+            inputs.pop();
+        }
+        // Invalid request: rejected at plan resolution.
+        _ => request.vector_len = 0,
+    }
+    (request, inputs)
+}
+
+fn service_config(
+    max_batch: usize,
+    max_wait: Duration,
+    noise: Option<NoiseModel>,
+) -> (ServiceConfig, SessionConfig) {
+    let mut session = SessionConfig::default();
+    session.run.noise = noise;
+    let config = ServiceConfig {
+        executor: ExecutorConfig { session: session.clone(), ..ExecutorConfig::default() },
+        max_batch,
+        max_wait,
+        ..ServiceConfig::default()
+    };
+    (config, session)
+}
+
+fn assert_served_matches_session(
+    traffic: &[(CollectiveRequest, Vec<Vec<f32>>)],
+    served: &[Response],
+    session_config: SessionConfig,
+) -> Result<(), TestCaseError> {
+    let mut session = Session::with_config(session_config);
+    prop_assert_eq!(served.len(), traffic.len());
+    for (i, ((request, inputs), response)) in traffic.iter().zip(served).enumerate() {
+        let expected = session.run(request, inputs);
+        match (&response.result, &expected) {
+            (Ok(got), Ok(want)) => {
+                prop_assert!(got.report == want.report, "item {i}: reports diverge");
+                prop_assert!(got.outputs == want.outputs, "item {i}: outputs diverge");
+            }
+            (Err(got), Err(want)) => prop_assert!(got == want, "item {i}: errors diverge"),
+            _ => prop_assert!(false, "item {i}: one path failed, the other did not"),
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
+
+    /// Acceptance criterion: any interleaving of `submit` pacing, batch
+    /// windows and `shutdown` timing yields responses byte-identical to a
+    /// sequential `Session` over the same requests — including batches
+    /// containing rejected items, and with thermal noise attached (run
+    /// indices must align across the service's batch cuts).
+    #[test]
+    fn service_is_byte_identical_to_sequential_session(
+        codes in proptest::collection::vec(0u32..16, 3..14),
+        p in 2u32..10,
+        b in 2u32..24,
+        max_batch in 1usize..7,
+        max_wait_us in 0u64..1500,
+        pause_every in 1usize..5,
+        pause_us in 0u64..400,
+        probability in 0.0f64..0.2,
+        seed in 0u64..1_000_000,
+        shutdown_before_wait in proptest::bool::ANY,
+    ) {
+        let noise = (probability > 0.0).then(|| NoiseModel::new(probability, seed));
+        let (config, session_config) =
+            service_config(max_batch, Duration::from_micros(max_wait_us), noise);
+        let traffic: Vec<(CollectiveRequest, Vec<Vec<f32>>)> = codes
+            .iter()
+            .enumerate()
+            .map(|(i, &code)| traffic_item(code, p + (i as u32 % 3), b))
+            .collect();
+
+        let service = CollectiveService::with_config(config);
+        let mut handles = Vec::with_capacity(traffic.len());
+        for (i, (request, inputs)) in traffic.iter().enumerate() {
+            handles.push(service.submit(*request, inputs.clone()).unwrap());
+            // Interleave the submissions with the batcher's clock: pauses
+            // let deadlines fire mid-traffic, no pauses exercise size cuts.
+            if pause_us > 0 && i % pause_every == pause_every - 1 {
+                std::thread::sleep(Duration::from_micros(pause_us));
+            }
+        }
+        if shutdown_before_wait {
+            // Shutdown races the in-flight tail: it must drain, not drop.
+            service.shutdown();
+        }
+        let served: Vec<Response> = handles.into_iter().map(ResponseHandle::wait).collect();
+        let stats = service.shutdown();
+        prop_assert_eq!(stats.completed as usize, traffic.len());
+        prop_assert_eq!(stats.submitted as usize, traffic.len());
+        // The batch-size histogram accounts for every request.
+        prop_assert_eq!(
+            stats.batch_size_histogram.iter().enumerate()
+                .map(|(s, n)| (s as u64 + 1) * n).sum::<u64>(),
+            traffic.len() as u64
+        );
+        assert_served_matches_session(&traffic, &served, session_config)?;
+    }
+}
+
+#[test]
+fn try_submit_backpressures_when_saturated() {
+    // Saturate the batcher with a slow batch (grid collectives on 144 PEs
+    // take milliseconds of simulation), then flood the tiny queue with
+    // non-blocking submissions: the bound must reject, not buffer.
+    let service = CollectiveService::with_config(ServiceConfig {
+        queue_capacity: 2,
+        max_batch: 4,
+        max_wait: Duration::from_micros(50),
+        ..ServiceConfig::default()
+    });
+    let big = CollectiveRequest::reduce(Topology::grid(12, 12), 64);
+    let mut handles: Vec<ResponseHandle> =
+        (0..4).map(|_| service.submit(big, deterministic_inputs(144, 64)).unwrap()).collect();
+
+    let small = CollectiveRequest::reduce(Topology::line(4), 4);
+    let mut rejections = 0u64;
+    for _ in 0..200 {
+        match service.try_submit(small, deterministic_inputs(4, 4)) {
+            Ok(handle) => handles.push(handle),
+            Err(CollectiveError::QueueFull { capacity }) => {
+                assert_eq!(capacity, 2);
+                rejections += 1;
+            }
+            Err(other) => panic!("unexpected submit error: {other}"),
+        }
+    }
+    assert!(rejections > 0, "a 2-slot queue cannot absorb a 200-request burst");
+    assert_eq!(service.stats().rejected, rejections);
+
+    // The blocking path waits for a slot instead of failing.
+    handles.push(service.submit(small, deterministic_inputs(4, 4)).unwrap());
+    for handle in handles {
+        assert!(handle.wait().result.is_ok());
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.completed, stats.submitted);
+    assert_eq!(stats.queue_depth, 0);
+}
+
+#[test]
+fn per_request_latency_is_reported_and_aggregated() {
+    let service = CollectiveService::with_config(ServiceConfig {
+        max_batch: 8,
+        max_wait: Duration::from_micros(100),
+        ..ServiceConfig::default()
+    });
+    let request = CollectiveRequest::allreduce(Topology::line(6), 16);
+    let handles: Vec<ResponseHandle> =
+        (0..24).map(|_| service.submit(request, deterministic_inputs(6, 16)).unwrap()).collect();
+    for handle in handles {
+        let response = handle.wait();
+        assert!(response.result.is_ok());
+        assert!(response.latency > Duration::ZERO, "enqueue-to-complete latency is measured");
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.latency.samples, 24);
+    assert!(stats.latency.p50 > Duration::ZERO);
+    assert!(stats.latency.p99 >= stats.latency.p50);
+    assert!(stats.latency.max >= stats.latency.p99);
+    assert!(stats.batches >= 3, "24 requests cannot fit two 8-item batches");
+    // The executor behind the service amortised the repeated request.
+    let executor = service.executor_stats();
+    assert_eq!(executor.runs, 24);
+    assert!(executor.plan_hits >= 23, "one shape: at most one plan generation per worker race");
+}
+
+#[test]
+fn polling_handles_observe_completion() {
+    let service = CollectiveService::with_config(ServiceConfig {
+        max_batch: 4,
+        max_wait: Duration::from_micros(100),
+        ..ServiceConfig::default()
+    });
+    let request = CollectiveRequest::reduce(Topology::line(5), 8);
+    let handle = service.submit(request, deterministic_inputs(5, 8)).unwrap();
+    // Poll until ready (bounded by the deadline flush + execution time).
+    let mut polled = None;
+    for _ in 0..10_000 {
+        if let Some(response) = handle.try_get() {
+            polled = Some(response);
+            break;
+        }
+        std::thread::sleep(Duration::from_micros(50));
+    }
+    let polled = polled.expect("the deadline flush completes a lone request");
+    assert!(polled.result.is_ok());
+    assert!(handle.is_ready());
+    // try_get does not consume: wait still returns the same response.
+    let waited = handle.wait();
+    assert_eq!(waited.result.unwrap().outputs, polled.result.unwrap().outputs);
+    service.shutdown();
+}
