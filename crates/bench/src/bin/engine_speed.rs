@@ -1,0 +1,275 @@
+//! Engine throughput: the event-driven fast path against the reference
+//! cycle-stepper, in simulated cycles per wall-clock second.
+//!
+//! The headline workload is *sparse traffic on a large grid* — one message
+//! crossing a W×H wafer along a single row. The reference engine pays for
+//! every PE and router every cycle, O(W·H) per cycle; the fast engine visits
+//! only the handful of PEs and routers with pending work, so its advantage
+//! grows with the idle fraction of the wafer — exactly the serving regime
+//! where a small collective runs on a corner of a big configured mesh. A
+//! dense 2D reduce point is included as a sanity check that active-set
+//! bookkeeping does not slow busy fabrics down.
+//!
+//! Every point first runs both engines once and asserts byte-identical
+//! [`RunReport`]s and receiver memory — the speedup is only meaningful
+//! because the answers are the same.
+//!
+//! Flags:
+//!
+//! * `--quick`           fewer/smaller grids, shorter timing windows (CI)
+//! * `--out F`           JSON output path (default `BENCH_engine.json`)
+//! * `--assert-speedup`  fail unless fast/reference clears the bar on the
+//!   largest sparse grid (5x; the measured margin is typically far larger)
+
+use std::time::{Duration, Instant};
+
+use wse_collectives::prelude::*;
+use wse_fabric::program::PeProgram;
+use wse_fabric::router::{ColorScript, RouteRule};
+use wse_fabric::wavelet::Color;
+use wse_fabric::{Direction, DirectionSet, EngineKind as Engine, Fabric, FabricParams, RunReport};
+
+struct Options {
+    quick: bool,
+    out: String,
+    assert_speedup: bool,
+}
+
+impl Options {
+    fn from_args() -> Self {
+        let mut opts =
+            Options { quick: false, out: "BENCH_engine.json".to_string(), assert_speedup: false };
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--quick" => opts.quick = true,
+                "--out" => opts.out = args.next().expect("--out needs a path"),
+                "--assert-speedup" => opts.assert_speedup = true,
+                other => eprintln!(
+                    "ignoring unknown argument {other:?} \
+                     (supported: --quick, --out F, --assert-speedup)"
+                ),
+            }
+        }
+        opts
+    }
+}
+
+/// One measured grid point.
+struct Point {
+    label: &'static str,
+    width: u32,
+    height: u32,
+    run_cycles: u64,
+    reference_cps: f64,
+    fast_cps: f64,
+    speedup: f64,
+}
+
+const MESSAGE_LEN: u32 = 16;
+
+/// Install the sparse workload on an idle fabric: PE (W-1, H/2) sends
+/// `MESSAGE_LEN` values west along its row to PE (0, H/2). Everything off
+/// that row stays idle for the whole run.
+fn install_sparse(fabric: &mut Fabric, dim: GridDim) {
+    let color = Color::new(0);
+    let row = dim.height / 2;
+    let west = DirectionSet::single(Direction::West);
+    let ramp = DirectionSet::single(Direction::Ramp);
+
+    let sender = Coord::new(dim.width - 1, row);
+    let mut program = PeProgram::new();
+    program.send(color, 0, MESSAGE_LEN);
+    fabric.set_program(sender, &program);
+    let values: Vec<f32> = (0..MESSAGE_LEN).map(|i| i as f32 * 0.5 + 1.0).collect();
+    fabric.set_local(sender, &values);
+    fabric.set_router_script(
+        sender,
+        color,
+        ColorScript::new(vec![RouteRule::forever(Direction::Ramp, west)]),
+    );
+
+    for x in 1..dim.width - 1 {
+        fabric.set_router_script(
+            Coord::new(x, row),
+            color,
+            ColorScript::new(vec![RouteRule::forever(Direction::East, west)]),
+        );
+    }
+
+    let receiver = Coord::new(0, row);
+    let mut program = PeProgram::new();
+    program.recv_store(color, 0, MESSAGE_LEN);
+    fabric.set_program(receiver, &program);
+    fabric.set_local(receiver, &vec![0.0; MESSAGE_LEN as usize]);
+    fabric.set_router_script(
+        receiver,
+        color,
+        ColorScript::new(vec![RouteRule::forever(Direction::East, ramp)]),
+    );
+}
+
+/// Run the sparse workload once on a fresh fabric with the given engine.
+fn sparse_once(dim: GridDim, engine: Engine) -> (RunReport, Vec<f32>) {
+    let mut fabric = Fabric::new(dim, FabricParams::default().with_engine(engine));
+    install_sparse(&mut fabric, dim);
+    let report = fabric.run().expect("the sparse message completes");
+    let received = fabric.local(Coord::new(0, dim.height / 2)).to_vec();
+    (report, received)
+}
+
+/// Simulated cycles per second for the sparse workload: repeat
+/// reset-install-run on one fabric until the timing window closes.
+fn sparse_rate(dim: GridDim, engine: Engine, window: Duration) -> (f64, u64) {
+    let mut fabric = Fabric::new(dim, FabricParams::default().with_engine(engine));
+    let mut total_cycles = 0u64;
+    let start = Instant::now();
+    let run_cycles = loop {
+        fabric.reset();
+        install_sparse(&mut fabric, dim);
+        let report = fabric.run().expect("the sparse message completes");
+        total_cycles += report.cycles;
+        if start.elapsed() >= window {
+            break report.cycles;
+        }
+    };
+    (total_cycles as f64 / start.elapsed().as_secs_f64().max(1e-9), run_cycles)
+}
+
+/// Measure one sparse grid point, asserting byte-identity first.
+fn sparse_point(width: u32, height: u32, window: Duration) -> Point {
+    let dim = GridDim::new(width, height);
+    let (fast_report, fast_values) = sparse_once(dim, Engine::Fast);
+    let (reference_report, reference_values) = sparse_once(dim, Engine::Reference);
+    assert_eq!(fast_report, reference_report, "{width}x{height}: engine reports diverge");
+    assert_eq!(fast_values, reference_values, "{width}x{height}: received values diverge");
+
+    let (reference_cps, run_cycles) = sparse_rate(dim, Engine::Reference, window);
+    let (fast_cps, _) = sparse_rate(dim, Engine::Fast, window);
+    Point {
+        label: "sparse",
+        width,
+        height,
+        run_cycles,
+        reference_cps,
+        fast_cps,
+        speedup: fast_cps / reference_cps.max(1e-9),
+    }
+}
+
+/// The dense sanity point: a 2D reduce keeping the whole grid busy. The fast
+/// engine cannot skip much here; the point checks its bookkeeping overhead.
+fn dense_point(width: u32, height: u32, window: Duration) -> Point {
+    let request = CollectiveRequest::reduce(Topology::grid(width, height), 32);
+    let resolved = request.resolve(&Machine::wse2()).expect("dense request resolves");
+    let inputs = wse_bench::make_inputs((width * height) as usize, 32);
+
+    let rate = |engine: Engine| {
+        let config = RunConfig::default().with_engine(engine);
+        let mut total_cycles = 0u64;
+        let start = Instant::now();
+        let outcome = loop {
+            let result = run_plan(&resolved.plan, &inputs, &config).expect("dense reduce runs");
+            total_cycles += result.report.cycles;
+            if start.elapsed() >= window {
+                break result;
+            }
+        };
+        (total_cycles as f64 / start.elapsed().as_secs_f64().max(1e-9), outcome)
+    };
+
+    let (fast_cps, fast_outcome) = rate(Engine::Fast);
+    let (reference_cps, reference_outcome) = rate(Engine::Reference);
+    assert_eq!(fast_outcome.report, reference_outcome.report, "dense: engine reports diverge");
+    assert_eq!(fast_outcome.outputs, reference_outcome.outputs, "dense: outputs diverge");
+    Point {
+        label: "dense",
+        width,
+        height,
+        run_cycles: fast_outcome.report.cycles,
+        reference_cps,
+        fast_cps,
+        speedup: fast_cps / reference_cps.max(1e-9),
+    }
+}
+
+fn json(points: &[Point], quick: bool) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"benchmark\": \"engine_speed\",\n");
+    out.push_str(&format!(
+        "  \"workload\": \"sparse: {MESSAGE_LEN}-value row-crossing message; \
+         dense: 2D reduce b=32\",\n"
+    ));
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"label\": \"{}\", \"width\": {}, \"height\": {}, \"run_cycles\": {}, \
+             \"reference_cps\": {:.0}, \"fast_cps\": {:.0}, \"speedup\": {:.2}}}{}\n",
+            p.label,
+            p.width,
+            p.height,
+            p.run_cycles,
+            p.reference_cps,
+            p.fast_cps,
+            p.speedup,
+            if i + 1 < points.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let opts = Options::from_args();
+    let grids: &[(u32, u32)] =
+        if opts.quick { &[(12, 12), (32, 32)] } else { &[(16, 16), (32, 32), (64, 64), (96, 96)] };
+    let window = if opts.quick { Duration::from_millis(25) } else { Duration::from_millis(200) };
+
+    println!("# Engine speed: event-driven fast path vs. reference cycle-stepper");
+    println!(
+        "{:>8} {:>9} {:>11} {:>16} {:>16} {:>9}",
+        "workload", "grid", "cycles/run", "reference(c/s)", "fast(c/s)", "speedup"
+    );
+    let mut points = Vec::new();
+    for &(w, h) in grids {
+        points.push(sparse_point(w, h, window));
+    }
+    points.push(dense_point(
+        if opts.quick { 8 } else { 12 },
+        if opts.quick { 8 } else { 12 },
+        window,
+    ));
+    for p in &points {
+        println!(
+            "{:>8} {:>9} {:>11} {:>16.0} {:>16.0} {:>8.1}x",
+            p.label,
+            format!("{}x{}", p.width, p.height),
+            p.run_cycles,
+            p.reference_cps,
+            p.fast_cps,
+            p.speedup,
+        );
+    }
+
+    // The fast engine must win where it is designed to: the largest sparse
+    // grid. The gate is opt-in (like the throughput harness) so CI smoke
+    // runs on loaded shared runners stay deterministic.
+    let sparse_best =
+        points.iter().rev().find(|p| p.label == "sparse").expect("sparse points exist");
+    if opts.assert_speedup {
+        assert!(
+            sparse_best.speedup >= 5.0,
+            "fast engine speedup {:.1}x on {}x{} is below the 5x bar",
+            sparse_best.speedup,
+            sparse_best.width,
+            sparse_best.height
+        );
+    }
+
+    let payload = json(&points, opts.quick);
+    std::fs::write(&opts.out, &payload)
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", opts.out));
+    println!("\nwrote {} points to {}", points.len(), opts.out);
+}

@@ -76,6 +76,12 @@ pub struct ExecutorConfig {
     /// checked in beyond it are dropped. Bounds pool memory when traffic
     /// shifts between shapes.
     pub max_pooled_per_shape: usize,
+    /// Upper bound on the number of grid shapes holding idle fabrics. When a
+    /// check-in would exceed it, the least-recently-used shapes are evicted
+    /// wholesale (their idle fabrics dropped, counted in
+    /// [`ExecutorStats::pool_shape_evictions`]). Bounds pool memory when
+    /// traffic moves on from old shapes entirely.
+    pub max_pooled_shapes: usize,
 }
 
 impl Default for ExecutorConfig {
@@ -84,7 +90,17 @@ impl Default for ExecutorConfig {
             session: SessionConfig::default(),
             workers: None,
             max_pooled_per_shape: 64,
+            max_pooled_shapes: 16,
         }
+    }
+}
+
+impl ExecutorConfig {
+    /// The same configuration with a different fabric engine (see
+    /// [`crate::runner::RunConfig::with_engine`]).
+    pub fn with_engine(mut self, engine: wse_fabric::EngineKind) -> Self {
+        self.session = self.session.with_engine(engine);
+        self
     }
 }
 
@@ -104,6 +120,8 @@ pub struct ExecutorStats {
     pub fabric_reuses: u64,
     /// Fabrics allocated for new checkouts.
     pub fabrics_created: u64,
+    /// Cold grid shapes reclaimed from the fabric pool (LRU eviction).
+    pub pool_shape_evictions: u64,
     /// Batches executed.
     pub batches: u64,
 }
@@ -119,6 +137,7 @@ struct AtomicStats {
     runs: AtomicU64,
     fabric_reuses: AtomicU64,
     fabrics_created: AtomicU64,
+    pool_shape_evictions: AtomicU64,
     batches: AtomicU64,
 }
 
@@ -131,9 +150,20 @@ impl AtomicStats {
             runs: self.runs.load(Ordering::Relaxed),
             fabric_reuses: self.fabric_reuses.load(Ordering::Relaxed),
             fabrics_created: self.fabrics_created.load(Ordering::Relaxed),
+            pool_shape_evictions: self.pool_shape_evictions.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
         }
     }
+}
+
+/// The idle fabrics of one grid shape, with a recency stamp for LRU
+/// reclamation.
+#[derive(Debug, Default)]
+struct ShapeEntry {
+    fabrics: Vec<Fabric>,
+    /// Value of the pool's tick counter at this shape's last checkout or
+    /// check-in. Higher = more recently used.
+    last_used: u64,
 }
 
 /// A pool of idle, reset fabrics keyed by grid shape.
@@ -142,16 +172,43 @@ impl AtomicStats {
 /// state (no programs, scripts, noise, or counters), so a checkout is
 /// immediately installable — the reset cost is paid at check-in, off the
 /// critical path of the *next* request for that shape.
+///
+/// Memory is bounded along two axes: at most `max_per_shape` idle fabrics
+/// per shape (excess check-ins are dropped), and at most `max_shapes` shapes
+/// holding idle fabrics — beyond that, whole least-recently-used shapes are
+/// reclaimed, so traffic that moved on from a shape does not pin its meshes
+/// forever. A shape entry exists only while it holds idle fabrics.
+#[derive(Debug, Default)]
+struct PoolState {
+    shapes: HashMap<GridDim, ShapeEntry>,
+    tick: u64,
+}
+
 #[derive(Debug, Default)]
 struct FabricPool {
-    idle: Mutex<HashMap<GridDim, Vec<Fabric>>>,
+    idle: Mutex<PoolState>,
 }
 
 impl FabricPool {
     /// Take an idle fabric of the given shape, or build one. Returns the
     /// fabric and whether it came from the pool.
     fn checkout(&self, dim: GridDim, params: FabricParams) -> (Fabric, bool) {
-        let pooled = self.lock().get_mut(&dim).and_then(Vec::pop);
+        let pooled = {
+            let mut state = self.lock();
+            state.tick += 1;
+            let tick = state.tick;
+            match state.shapes.get_mut(&dim) {
+                Some(entry) => {
+                    entry.last_used = tick;
+                    let fabric = entry.fabrics.pop();
+                    if entry.fabrics.is_empty() {
+                        state.shapes.remove(&dim);
+                    }
+                    fabric
+                }
+                None => None,
+            }
+        };
         match pooled {
             Some(fabric) => (fabric, true),
             None => (Fabric::new(dim, params), false),
@@ -159,21 +216,48 @@ impl FabricPool {
     }
 
     /// Reset a fabric and return it to the pool (or drop it if the shape's
-    /// idle list is already at `max_per_shape`).
-    fn check_in(&self, mut fabric: Fabric, max_per_shape: usize) {
-        fabric.reset();
-        let mut idle = self.lock();
-        let list = idle.entry(fabric.dim()).or_default();
-        if list.len() < max_per_shape {
-            list.push(fabric);
+    /// idle list is already at `max_per_shape`). If pooling it pushes the
+    /// number of shapes past `max_shapes`, least-recently-used shapes are
+    /// reclaimed wholesale; the number of shapes evicted is returned.
+    fn check_in(&self, mut fabric: Fabric, max_per_shape: usize, max_shapes: usize) -> u64 {
+        if max_per_shape == 0 || max_shapes == 0 {
+            return 0;
         }
+        fabric.reset();
+        let dim = fabric.dim();
+        let mut state = self.lock();
+        state.tick += 1;
+        let tick = state.tick;
+        let entry = state.shapes.entry(dim).or_default();
+        entry.last_used = tick;
+        if entry.fabrics.len() < max_per_shape {
+            entry.fabrics.push(fabric);
+        }
+        let mut evicted = 0;
+        while state.shapes.len() > max_shapes {
+            // The just-used shape carries the newest stamp, so the minimum is
+            // always some other (colder) shape.
+            let coldest = state
+                .shapes
+                .iter()
+                .min_by_key(|(_, entry)| entry.last_used)
+                .map(|(dim, _)| *dim)
+                .expect("len > max_shapes >= 1 implies a nonempty map");
+            state.shapes.remove(&coldest);
+            evicted += 1;
+        }
+        evicted
     }
 
     fn pooled(&self) -> usize {
-        self.lock().values().map(Vec::len).sum()
+        self.lock().shapes.values().map(|entry| entry.fabrics.len()).sum()
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<GridDim, Vec<Fabric>>> {
+    fn pooled_shapes(&self) -> usize {
+        self.lock().shapes.len()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, PoolState> {
         self.idle.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 }
@@ -264,6 +348,11 @@ impl Executor {
         self.pool.pooled()
     }
 
+    /// Number of grid shapes currently holding idle pooled fabrics.
+    pub fn pooled_shapes(&self) -> usize {
+        self.pool.pooled_shapes()
+    }
+
     /// Drop every cached plan (the fabric pool and statistics are kept).
     pub fn clear_plan_cache(&self) {
         self.cache.clear();
@@ -349,7 +438,14 @@ impl Executor {
         fabric.set_noise(run.noise.as_ref().map(|noise| noise.for_run(run_index)));
         self.stats.runs.fetch_add(1, Ordering::Relaxed);
         let result = execute_on(&mut fabric, &resolved.plan, inputs);
-        self.pool.check_in(fabric, self.config.max_pooled_per_shape);
+        let evicted = self.pool.check_in(
+            fabric,
+            self.config.max_pooled_per_shape,
+            self.config.max_pooled_shapes,
+        );
+        if evicted > 0 {
+            self.stats.pool_shape_evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
         result
     }
 
@@ -541,6 +637,49 @@ mod tests {
             .collect();
         executor.run_batch(&batch);
         assert!(executor.pooled_fabrics() <= 1);
+    }
+
+    #[test]
+    fn cold_shapes_are_reclaimed_lru() {
+        // One worker, shape cap of 2: run shapes A, B, refresh A, then C.
+        // B is the least recently used shape and must be the one evicted.
+        let executor = Executor::with_config(ExecutorConfig {
+            workers: Some(NonZeroUsize::new(1).unwrap()),
+            max_pooled_shapes: 2,
+            ..ExecutorConfig::default()
+        });
+        let item = |pes: u32| {
+            BatchItem::new(
+                CollectiveRequest::reduce(Topology::line(pes), 8),
+                inputs(pes as usize, 8),
+            )
+        };
+        executor.run_batch(&[item(4)]); // A
+        executor.run_batch(&[item(5)]); // B
+        executor.run_batch(&[item(4)]); // refresh A
+        executor.run_batch(&[item(6)]); // C -> evicts B
+        assert_eq!(executor.pooled_shapes(), 2);
+        assert_eq!(executor.stats().pool_shape_evictions, 1);
+
+        // A survived (reuse), B did not (fresh allocation).
+        let created = executor.stats().fabrics_created;
+        executor.run_batch(&[item(4)]);
+        assert_eq!(executor.stats().fabrics_created, created, "hot shape A was kept");
+        executor.run_batch(&[item(5)]);
+        assert_eq!(executor.stats().fabrics_created, created + 1, "cold shape B was reclaimed");
+    }
+
+    #[test]
+    fn reference_engine_batches_match_the_fast_default() {
+        // EngineKind threads through ExecutorConfig; both engines must give
+        // byte-identical batch results.
+        let batch = mixed_batch();
+        let fast = Executor::new().run_batch(&batch);
+        let reference = Executor::with_config(
+            ExecutorConfig::default().with_engine(wse_fabric::EngineKind::Reference),
+        )
+        .run_batch(&batch);
+        assert_equivalent(&fast, &reference);
     }
 
     #[test]

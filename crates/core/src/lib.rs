@@ -124,6 +124,7 @@ pub use serve::{
     ServiceStats,
 };
 pub use session::{Session, SessionConfig, SessionStats};
+pub use wse_fabric::EngineKind;
 
 /// Convenience re-exports for applications.
 pub mod prelude {
@@ -147,5 +148,6 @@ pub mod prelude {
     pub use crate::session::{Session, SessionConfig, SessionStats};
     pub use wse_fabric::geometry::{Coord, GridDim};
     pub use wse_fabric::program::ReduceOp;
+    pub use wse_fabric::EngineKind;
     pub use wse_model::Machine;
 }

@@ -3,7 +3,7 @@
 use wse_fabric::engine::RunReport;
 use wse_fabric::geometry::Coord;
 use wse_fabric::program::ReduceOp;
-use wse_fabric::{Fabric, FabricParams, NoiseModel};
+use wse_fabric::{EngineKind, Fabric, FabricParams, NoiseModel};
 
 use crate::error::CollectiveError;
 use crate::plan::CollectivePlan;
@@ -21,6 +21,15 @@ impl RunConfig {
     /// A configuration with a non-default ramp latency.
     pub fn with_ramp_latency(ramp_latency: u64) -> Self {
         RunConfig { params: FabricParams::with_ramp_latency(ramp_latency), noise: None }
+    }
+
+    /// The same configuration with a different fabric engine. The default is
+    /// [`EngineKind::Fast`]; pass [`EngineKind::Reference`] to run on the
+    /// exhaustive cycle-stepper (the two are observably byte-identical — see
+    /// [`wse_fabric::engine`]).
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.params.engine = engine;
+        self
     }
 }
 

@@ -111,6 +111,17 @@ impl Default for ServiceConfig {
     }
 }
 
+impl ServiceConfig {
+    /// The same configuration with a different fabric engine (see
+    /// [`crate::runner::RunConfig::with_engine`]). The default
+    /// [`wse_fabric::EngineKind::Fast`] engine is byte-identical to the
+    /// reference cycle-stepper, so this knob changes throughput only.
+    pub fn with_engine(mut self, engine: wse_fabric::EngineKind) -> Self {
+        self.executor = self.executor.with_engine(engine);
+        self
+    }
+}
+
 /// One accepted request travelling from the queue to the executor.
 #[derive(Debug)]
 struct Pending {

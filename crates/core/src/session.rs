@@ -55,6 +55,15 @@ impl Default for SessionConfig {
     }
 }
 
+impl SessionConfig {
+    /// The same configuration with a different fabric engine (see
+    /// [`RunConfig::with_engine`]).
+    pub fn with_engine(mut self, engine: wse_fabric::EngineKind) -> Self {
+        self.run = self.run.with_engine(engine);
+        self
+    }
+}
+
 /// Counters describing how much work a session amortised.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SessionStats {

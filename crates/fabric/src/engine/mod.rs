@@ -1,6 +1,7 @@
-//! The cycle-stepped fabric engine.
+//! The fabric engines: a reference cycle-stepper and a fast event-driven
+//! engine, byte-identical in everything they report.
 //!
-//! The engine advances the whole grid one cycle at a time:
+//! Both engines advance the grid with the same per-cycle semantics:
 //!
 //! 1. every PE executes one cycle of its program (consuming at most one
 //!    wavelet from its ramp and injecting at most one),
@@ -15,12 +16,45 @@
 //! per cycle links, per-PE pipelining limited by the single ramp port,
 //! contention stalls at over-subscribed PEs, and loose synchronisation
 //! through routing-configuration switches.
+//!
+//! # The two engines
+//!
+//! [`EngineKind::Reference`] is the exhaustive stepper: every PE and all
+//! five router input ports of every PE are visited every cycle, whether or
+//! not they hold work. It is deliberately simple — its loop *is* the
+//! semantics above — and stays the correctness oracle.
+//!
+//! [`EngineKind::Fast`], the default, visits only the PEs whose programs
+//! have not finished and the routers that actually hold wavelets (an
+//! *active set* maintained incrementally as wavelets move), and when the
+//! earliest future event — a ramp-latency maturation or an inbuf head
+//! becoming visible — is more than one cycle away it advances the clock in
+//! one jump instead of idling through the gap. On large grids with sparse
+//! traffic this removes almost all per-cycle work.
+//!
+//! # Equivalence contract
+//!
+//! The fast engine is *observably byte-identical* to the reference engine:
+//! for any fabric configuration, with or without a [`NoiseModel`] attached,
+//! both engines produce the same [`RunReport`] (cycle counts, per-PE finish
+//! cycles, `energy_hops`, `links_used`, link loads, stall and no-op
+//! counters), the same PE local memories, and the same [`FabricError`] on
+//! failing configurations (deadlock declared at the same cycle, identical
+//! cycle-limit and unconfigured-color errors). The contract is enforced by
+//! the unit tests in this module, the property suite in
+//! `crates/fabric/tests/property_fabric.rs` and the plan-level proptest
+//! suite in `tests/engine_equivalence.rs`. The only tolerated divergence is
+//! internal state *after* an error has been returned (e.g. the noise RNG
+//! position), which no API reports and which [`Fabric::reset`] discards.
+
+mod fast;
+mod reference;
 
 use std::collections::VecDeque;
 
 use crate::clock::NoiseModel;
 use crate::geometry::{Coord, Direction, GridDim};
-use crate::pe::{PeError, PeState, PeStats};
+use crate::pe::{PeError, PeState, PeStats, Wake};
 use crate::program::PeProgram;
 use crate::router::{ColorScript, RouteDecision, Router};
 use crate::wavelet::{Color, Wavelet};
@@ -57,21 +91,31 @@ impl PortQueues {
         }
     }
 
-    /// The colors whose head wavelet is visible this cycle (arrived in an
-    /// earlier cycle), in queue order starting at `offset` for fairness.
-    fn visible_heads(&self, now: u64, offset: usize) -> Vec<(Color, Wavelet)> {
-        let n = self.queues.len();
-        let mut out = Vec::new();
-        for k in 0..n {
-            let (color, q) = &self.queues[(k + offset) % n];
-            if let Some(&(arrival, w)) = q.front() {
-                if arrival < now {
-                    debug_assert_eq!(w.color, *color);
-                    out.push((*color, w));
-                }
+    /// Number of per-color queues this port currently tracks (drained queues
+    /// are kept, so this only grows).
+    fn num_queues(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// The head wavelet of the `k`-th queue in fairness order (queue order
+    /// rotated by `offset`), if it is visible this cycle (arrived in an
+    /// earlier cycle). Must only be called with `k < num_queues()`.
+    fn visible_head_at(&self, now: u64, offset: usize, k: usize) -> Option<Wavelet> {
+        let (color, q) = &self.queues[(k + offset) % self.queues.len()];
+        match q.front() {
+            Some(&(arrival, w)) if arrival < now => {
+                debug_assert_eq!(w.color, *color);
+                Some(w)
             }
+            _ => None,
         }
-        out
+    }
+
+    /// The earliest cycle at which any queue head becomes visible, if any
+    /// wavelet is queued (a head that arrived at cycle `a` is visible from
+    /// `a + 1`).
+    fn earliest_visibility(&self) -> Option<u64> {
+        self.queues.iter().filter_map(|(_, q)| q.front().map(|&(arrival, _)| arrival + 1)).min()
     }
 
     fn pop(&mut self, color: Color) -> Wavelet {
@@ -89,9 +133,25 @@ impl PortQueues {
     }
 }
 
-/// How many consecutive cycles without any state change (and without
-/// anything in flight on a ramp) are tolerated before declaring a deadlock.
+/// Base tolerance (in cycles) for consecutive no-progress cycles before
+/// declaring a deadlock. The effective tolerance also scales with the grid
+/// semi-perimeter — see [`FabricParams::deadlock_patience`].
 const DEADLOCK_PATIENCE: u64 = 16;
+
+/// Which engine [`Fabric::run`] uses to advance the fabric.
+///
+/// Both engines implement the identical architecture and are observably
+/// byte-identical; see the [module docs](self) for the contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EngineKind {
+    /// Event-driven engine: visits only PEs/routers with pending work and
+    /// skips the clock ahead over event-free gaps. The default.
+    #[default]
+    Fast,
+    /// Exhaustive cycle-stepper: visits every PE and every router port every
+    /// cycle. The correctness oracle, and the engine behind [`Fabric::step`].
+    Reference,
+}
 
 /// Hardware parameters of the simulated fabric.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -100,11 +160,24 @@ pub struct FabricParams {
     pub ramp_latency: u64,
     /// Safety limit on the number of simulated cycles.
     pub max_cycles: u64,
+    /// Engine used by [`Fabric::run`].
+    pub engine: EngineKind,
+    /// Consecutive no-progress cycles (beyond the ramp latency) tolerated
+    /// before declaring a deadlock. `None` picks
+    /// `max(16, grid width + grid height)`: large grids, whose legitimate
+    /// quiet gaps grow with their diameter, cannot trip a false deadlock,
+    /// while small grids keep the historical fixed 16.
+    pub deadlock_patience: Option<u64>,
 }
 
 impl Default for FabricParams {
     fn default() -> Self {
-        FabricParams { ramp_latency: 2, max_cycles: 200_000_000 }
+        FabricParams {
+            ramp_latency: 2,
+            max_cycles: 200_000_000,
+            engine: EngineKind::default(),
+            deadlock_patience: None,
+        }
     }
 }
 
@@ -112,6 +185,11 @@ impl FabricParams {
     /// Parameters with a custom ramp latency.
     pub fn with_ramp_latency(ramp_latency: u64) -> Self {
         FabricParams { ramp_latency, ..Default::default() }
+    }
+
+    /// The same parameters with a different engine.
+    pub fn with_engine(self, engine: EngineKind) -> Self {
+        FabricParams { engine, ..self }
     }
 }
 
@@ -333,155 +411,200 @@ impl Fabric {
             && self.inbuf.iter().all(|bufs| bufs.iter().all(PortQueues::is_empty))
     }
 
-    /// Advance the fabric by one cycle. Returns whether any architectural
-    /// state changed.
-    pub fn step(&mut self) -> Result<bool, FabricError> {
-        let mut progress = false;
-        let now = self.cycle;
-        let t_r = self.params.ramp_latency;
+    /// Run until completion with the engine selected by
+    /// [`FabricParams::engine`], returning the run report.
+    pub fn run(&mut self) -> Result<RunReport, FabricError> {
+        match self.params.engine {
+            EngineKind::Fast => fast::run(self),
+            EngineKind::Reference => self.run_reference(),
+        }
+    }
 
-        // Phase 1: processor execution.
-        for i in 0..self.pes.len() {
-            if let Some(noise) = &mut self.noise {
+    /// The no-progress tolerance both engines apply before declaring a
+    /// deadlock: wavelets may legitimately sit in a ramp for `T_R` cycles,
+    /// plus the configured (or diameter-scaled) patience on top.
+    fn idle_tolerance(&self) -> u64 {
+        let patience = self.params.deadlock_patience.unwrap_or_else(|| {
+            DEADLOCK_PATIENCE.max(self.dim.width as u64 + self.dim.height as u64)
+        });
+        self.params.ramp_latency + patience
+    }
+
+    /// Build the deadlock error for the current cycle.
+    fn deadlock_error(&self) -> FabricError {
+        let stuck: Vec<usize> =
+            self.pes.iter().enumerate().filter(|(_, pe)| !pe.finished()).map(|(i, _)| i).collect();
+        FabricError::Deadlock { cycle: self.cycle, stuck_pes: stuck }
+    }
+
+    /// Draw this cycle's thermal no-ops for every PE, in PE index order.
+    ///
+    /// Both engines draw exactly one sample per PE per simulated cycle —
+    /// including PEs whose programs have finished — so the noise RNG stream
+    /// stays aligned between them.
+    fn inject_noise_all(&mut self) {
+        if let Some(noise) = &mut self.noise {
+            for pe in &mut self.pes {
                 let noops = noise.sample_noops();
                 if noops > 0 {
-                    self.pes[i].inject_noops(noops);
+                    pe.inject_noops(noops);
                 }
             }
-            match self.pes[i].step(now, t_r) {
-                Ok(adv) => progress |= adv,
-                Err(e) => return Err(FabricError::Program(e)),
+        }
+    }
+
+    /// Whether router `i` holds any wavelet (a non-empty input queue or a
+    /// wavelet travelling up the PE's ramp). This is the fast engine's
+    /// router-activity predicate.
+    fn router_has_work(&self, i: usize) -> bool {
+        !self.pes[i].ramp_up_is_empty() || self.inbuf[i].iter().any(|q| !q.is_empty())
+    }
+
+    /// The earliest cycle at which router `i` could have a visible candidate
+    /// wavelet: `Wake::Now` if one is visible this cycle, `Wake::At` for a
+    /// queued wavelet maturing later, `Wake::Never` if it holds nothing.
+    fn router_wake(&self, i: usize, now: u64) -> Wake {
+        let mut at = u64::MAX;
+        if let Some(ready) = self.pes[i].ramp_up_ready() {
+            if ready <= now {
+                return Wake::Now;
+            }
+            at = ready;
+        }
+        for bufs in &self.inbuf[i] {
+            if let Some(vis) = bufs.earliest_visibility() {
+                if vis <= now {
+                    return Wake::Now;
+                }
+                at = at.min(vis);
             }
         }
+        if at == u64::MAX {
+            Wake::Never
+        } else {
+            Wake::At(at)
+        }
+    }
 
-        // Phase 2: routing. A wavelet handed to a neighbouring router is
-        // stamped with the current cycle and only becomes visible there in
-        // the next cycle, so every hop takes at least one cycle. Each input
-        // port and each output port move at most one wavelet per cycle
-        // (32 bits/cycle/direction); multicast forwards are all-or-nothing.
-        let n = self.pes.len();
-        let mut out_used = vec![[false; 5]; n];
-
-        // An index loop over the PEs: the body reads and writes several
-        // per-PE arrays (`pes`, `inbuf`, `routers`, `out_used`) including
-        // entries of *other* PEs, which rules out a simple iterator.
-        #[allow(clippy::needless_range_loop)]
-        for i in 0..n {
-            let here = self.dim.coord(i);
-            for port in Direction::ALL {
-                // Candidate wavelets on this input port: the ramp head, or
-                // the visible head of each per-color queue.
-                let candidates: Vec<Wavelet> = if port == Direction::Ramp {
-                    self.pes[i].ramp_up_head(now).into_iter().collect()
-                } else {
-                    self.inbuf[i][port.index()]
-                        .visible_heads(now, self.cycle as usize)
-                        .into_iter()
-                        .map(|(_, w)| w)
-                        .collect()
-                };
-                for w in candidates {
-                    let decision = self.routers[i].decide(w.color, port);
-                    let forward = match decision {
-                        RouteDecision::Unconfigured => {
-                            return Err(FabricError::UnconfiguredColor {
-                                pe: i,
-                                color: w.color,
-                                from: port,
-                            })
-                        }
-                        RouteDecision::Stall => continue,
-                        RouteDecision::Accept(set) => set,
-                    };
-
-                    // Check that every forward target can take the wavelet
-                    // this cycle (multicast is all-or-nothing).
-                    let mut feasible = true;
-                    for d in forward.iter() {
-                        if out_used[i][d.index()] {
-                            feasible = false;
-                            break;
-                        }
-                        if d == Direction::Ramp {
-                            if !self.pes[i].ramp_down_has_space() {
-                                feasible = false;
-                                break;
-                            }
-                        } else {
-                            let Some(nc) = self.dim.neighbor(here, d) else {
-                                return Err(FabricError::ForwardOffGrid { pe: i, direction: d });
-                            };
-                            let ni = self.dim.index(nc);
-                            let slot = d.opposite().index();
-                            if !self.inbuf[ni][slot].has_space(w.color) {
-                                feasible = false;
-                                break;
-                            }
-                        }
-                    }
-                    if !feasible {
+    /// Route the input ports of router `i` for the current cycle: move at
+    /// most one wavelet per input port, at most one per output direction,
+    /// multicast all-or-nothing. Returns whether any wavelet moved; when
+    /// `activated` is provided, pushes the linear index of every neighbour
+    /// that received a wavelet (duplicates possible).
+    ///
+    /// Shared by both engines — the reference stepper calls it for every
+    /// router, the fast engine only for routers that hold wavelets. It never
+    /// reads or writes the mutable state of a wavelet-free router, which is
+    /// what makes the fast engine's active-set subsetting exact.
+    fn route_one(
+        &mut self,
+        i: usize,
+        now: u64,
+        mut activated: Option<&mut Vec<usize>>,
+    ) -> Result<bool, FabricError> {
+        let here = self.dim.coord(i);
+        let mut progress = false;
+        // One outgoing wavelet per direction per cycle, shared across this
+        // router's five input ports.
+        let mut out_used = [false; 5];
+        for port in Direction::ALL {
+            if port == Direction::Ramp {
+                // The ramp input port has a single candidate: the ramp head.
+                if let Some(w) = self.pes[i].ramp_up_head(now) {
+                    progress |=
+                        self.try_route(i, here, port, w, &mut out_used, activated.as_deref_mut())?;
+                }
+            } else {
+                // Candidate wavelets of a mesh port: the visible head of each
+                // per-color queue, in fairness order. Nothing mutates these
+                // queues until a candidate commits, and the first commit ends
+                // the port's turn, so reading heads lazily in place is
+                // equivalent to snapshotting them up front (and allocates
+                // nothing).
+                let nq = self.inbuf[i][port.index()].num_queues();
+                for k in 0..nq {
+                    let Some(w) = self.inbuf[i][port.index()].visible_head_at(now, now as usize, k)
+                    else {
                         continue;
-                    }
-
-                    // Commit the move.
-                    let w = if port == Direction::Ramp {
-                        self.pes[i].pop_ramp_up()
-                    } else {
-                        self.inbuf[i][port.index()].pop(w.color)
                     };
-                    self.routers[i].accept(&w, port);
-                    for d in forward.iter() {
-                        out_used[i][d.index()] = true;
-                        if d == Direction::Ramp {
-                            let ok = self.pes[i].offer_ramp_down(now + t_r, w);
-                            debug_assert!(ok, "ramp-down space checked above");
-                        } else {
-                            let ni = self.dim.index(self.dim.neighbor(here, d).unwrap());
-                            let slot = d.opposite().index();
-                            self.inbuf[ni][slot].push(now, w);
-                            self.energy_hops += 1;
-                            self.link_load[i][d.index()] += 1;
-                        }
+                    if self.try_route(i, here, port, w, &mut out_used, activated.as_deref_mut())? {
+                        progress = true;
+                        // At most one wavelet per input port per cycle.
+                        break;
                     }
-                    progress = true;
-                    // At most one wavelet per input port per cycle.
-                    break;
                 }
             }
         }
-
-        self.cycle += 1;
         Ok(progress)
     }
 
-    /// Run until completion, returning the run report.
-    pub fn run(&mut self) -> Result<RunReport, FabricError> {
-        let mut idle_cycles = 0u64;
-        while !self.finished() {
-            if self.cycle >= self.params.max_cycles {
-                return Err(FabricError::CycleLimitExceeded { limit: self.params.max_cycles });
+    /// Try to route candidate wavelet `w` sitting on input `port` of router
+    /// `i`: commits the move and returns `Ok(true)` if the routing rule
+    /// accepts it and every forward target has capacity, `Ok(false)` if it
+    /// stalls or is infeasible this cycle.
+    fn try_route(
+        &mut self,
+        i: usize,
+        here: Coord,
+        port: Direction,
+        w: Wavelet,
+        out_used: &mut [bool; 5],
+        mut activated: Option<&mut Vec<usize>>,
+    ) -> Result<bool, FabricError> {
+        let forward = match self.routers[i].decide(w.color, port) {
+            RouteDecision::Unconfigured => {
+                return Err(FabricError::UnconfiguredColor { pe: i, color: w.color, from: port })
             }
-            let progress = self.step()?;
-            if progress {
-                idle_cycles = 0;
+            RouteDecision::Stall => return Ok(false),
+            RouteDecision::Accept(set) => set,
+        };
+
+        // Check that every forward target can take the wavelet this cycle
+        // (multicast is all-or-nothing).
+        for d in forward.iter() {
+            if out_used[d.index()] {
+                return Ok(false);
+            }
+            if d == Direction::Ramp {
+                if !self.pes[i].ramp_down_has_space() {
+                    return Ok(false);
+                }
             } else {
-                idle_cycles += 1;
-                // Wavelets may legitimately sit in a ramp for `t_r` cycles
-                // before becoming visible; beyond that, no progress means no
-                // progress ever (the system is deterministic and monotone).
-                if idle_cycles > self.params.ramp_latency + DEADLOCK_PATIENCE {
-                    let stuck: Vec<usize> = self
-                        .pes
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, pe)| !pe.finished())
-                        .map(|(i, _)| i)
-                        .collect();
-                    return Err(FabricError::Deadlock { cycle: self.cycle, stuck_pes: stuck });
+                let Some(nc) = self.dim.neighbor(here, d) else {
+                    return Err(FabricError::ForwardOffGrid { pe: i, direction: d });
+                };
+                let ni = self.dim.index(nc);
+                if !self.inbuf[ni][d.opposite().index()].has_space(w.color) {
+                    return Ok(false);
                 }
             }
         }
-        Ok(self.report())
+
+        // Commit the move.
+        let now = self.cycle;
+        let t_r = self.params.ramp_latency;
+        let w = if port == Direction::Ramp {
+            self.pes[i].pop_ramp_up()
+        } else {
+            self.inbuf[i][port.index()].pop(w.color)
+        };
+        self.routers[i].accept(&w, port);
+        for d in forward.iter() {
+            out_used[d.index()] = true;
+            if d == Direction::Ramp {
+                let ok = self.pes[i].offer_ramp_down(now + t_r, w);
+                debug_assert!(ok, "ramp-down space checked above");
+            } else {
+                let ni = self.dim.index(self.dim.neighbor(here, d).unwrap());
+                self.inbuf[ni][d.opposite().index()].push(now, w);
+                self.energy_hops += 1;
+                self.link_load[i][d.index()] += 1;
+                if let Some(list) = activated.as_deref_mut() {
+                    list.push(ni);
+                }
+            }
+        }
+        Ok(true)
     }
 
     /// Build the report for the current (completed) state.
@@ -540,7 +663,7 @@ mod tests {
 
     /// Build a fabric where the rightmost PE of a row sends `b` elements to
     /// the leftmost PE (the Message primitive of §4.1).
-    fn message_fabric(p: u32, b: u32) -> Fabric {
+    pub(super) fn message_fabric(p: u32, b: u32) -> Fabric {
         let dim = GridDim::row(p);
         let mut fabric = Fabric::new(dim, FabricParams::default());
         configure_message(&mut fabric, p, b);
@@ -549,7 +672,7 @@ mod tests {
 
     /// Install the message configuration of [`message_fabric`] on an existing
     /// (fresh or reset) fabric.
-    fn configure_message(fabric: &mut Fabric, p: u32, b: u32) {
+    pub(super) fn configure_message(fabric: &mut Fabric, p: u32, b: u32) {
         let color = c(0);
         let data: Vec<f32> = (0..b).map(|i| i as f32 + 1.0).collect();
 
@@ -853,6 +976,7 @@ mod tests {
         assert_send_sync_static::<RunReport>();
         assert_send_sync_static::<FabricParams>();
         assert_send_sync_static::<FabricError>();
+        assert_send_sync_static::<EngineKind>();
     }
 
     #[test]
@@ -909,5 +1033,22 @@ mod tests {
             report.finish_of(0),
             b
         );
+    }
+
+    #[test]
+    fn default_patience_scales_with_grid_diameter() {
+        // Small grids keep the historical fixed patience; grids whose
+        // semi-perimeter exceeds it scale up so long quiet gaps on big
+        // fabrics are not misread as deadlocks. An explicit patience wins
+        // over both.
+        let small = Fabric::new(GridDim::row(2), FabricParams::default());
+        assert_eq!(small.idle_tolerance(), 2 + 16);
+        let large = Fabric::new(GridDim::new(40, 30), FabricParams::default());
+        assert_eq!(large.idle_tolerance(), 2 + 70);
+        let pinned = Fabric::new(
+            GridDim::new(40, 30),
+            FabricParams { deadlock_patience: Some(5), ..FabricParams::default() },
+        );
+        assert_eq!(pinned.idle_tolerance(), 2 + 5);
     }
 }

@@ -1,0 +1,71 @@
+//! The reference cycle-stepper: every PE and every router port, every cycle.
+//!
+//! This engine is the correctness oracle for [`super::EngineKind::Fast`]
+//! (`engine/fast.rs`): its run loop visits the entire grid each cycle with
+//! no shortcuts, so its structure maps one-to-one onto the architectural
+//! semantics in the [module docs](super). It is also the engine behind the
+//! public [`Fabric::step`], which callers use to hand-advance a fabric.
+
+use super::{Fabric, FabricError, RunReport};
+
+impl Fabric {
+    /// Advance the fabric by one cycle with the reference engine. Returns
+    /// whether any architectural state changed.
+    pub fn step(&mut self) -> Result<bool, FabricError> {
+        let mut progress = false;
+        let now = self.cycle;
+        let t_r = self.params.ramp_latency;
+
+        // Phase 1: processor execution (with thermal no-op injection drawn
+        // per PE, in index order).
+        for i in 0..self.pes.len() {
+            if let Some(noise) = &mut self.noise {
+                let noops = noise.sample_noops();
+                if noops > 0 {
+                    self.pes[i].inject_noops(noops);
+                }
+            }
+            match self.pes[i].step(now, t_r) {
+                Ok(adv) => progress |= adv,
+                Err(e) => return Err(FabricError::Program(e)),
+            }
+        }
+
+        // Phase 2: routing. A wavelet handed to a neighbouring router is
+        // stamped with the current cycle and only becomes visible there in
+        // the next cycle, so every hop takes at least one cycle. Each input
+        // port and each output port move at most one wavelet per cycle
+        // (32 bits/cycle/direction); multicast forwards are all-or-nothing.
+        for i in 0..self.pes.len() {
+            progress |= self.route_one(i, now, None)?;
+        }
+
+        self.cycle += 1;
+        Ok(progress)
+    }
+
+    /// The [`super::EngineKind::Reference`] run loop.
+    pub(super) fn run_reference(&mut self) -> Result<RunReport, FabricError> {
+        let tolerance = self.idle_tolerance();
+        let mut idle_cycles = 0u64;
+        while !self.finished() {
+            if self.cycle >= self.params.max_cycles {
+                return Err(FabricError::CycleLimitExceeded { limit: self.params.max_cycles });
+            }
+            let progress = self.step()?;
+            if progress {
+                idle_cycles = 0;
+            } else {
+                idle_cycles += 1;
+                // Wavelets may legitimately sit in a ramp for `t_r` cycles
+                // before becoming visible; beyond the tolerance, no progress
+                // means no progress ever (the system is deterministic and
+                // monotone).
+                if idle_cycles > tolerance {
+                    return Err(self.deadlock_error());
+                }
+            }
+        }
+        Ok(self.report())
+    }
+}

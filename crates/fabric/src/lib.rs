@@ -86,7 +86,7 @@ pub mod router;
 pub mod wavelet;
 
 pub use clock::{ClockModel, NoiseModel};
-pub use engine::{Fabric, FabricError, FabricParams, RunReport};
+pub use engine::{EngineKind, Fabric, FabricError, FabricParams, RunReport};
 pub use geometry::{Coord, Direction, DirectionSet, GridDim};
 pub use program::{Instruction, PeProgram, RecvMode, ReduceOp};
 pub use router::{ColorScript, RouteDecision, RouteRule, Router};

@@ -34,6 +34,20 @@ pub struct PeStats {
     pub noop_cycles: u64,
 }
 
+/// When a PE or router could next act, as computed for the fast engine's
+/// skip-ahead (`engine/fast.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Wake {
+    /// It can act this very cycle.
+    Now,
+    /// Nothing can happen before the given future cycle.
+    At(u64),
+    /// It will never act on its own; only another component's move (e.g. a
+    /// router pop freeing ramp space) can unblock it, and that move carries
+    /// its own wake time.
+    Never,
+}
+
 /// The runtime state of one PE: its program, local memory and ramp FIFOs.
 #[derive(Debug, Clone)]
 pub struct PeState {
@@ -199,6 +213,82 @@ impl PeState {
         match self.ramp_down.front() {
             Some(&(ready, w)) if ready <= now => Some(w),
             _ => None,
+        }
+    }
+
+    /// Whether the upward ramp holds no wavelets (fast-engine router
+    /// activity predicate).
+    pub(crate) fn ramp_up_is_empty(&self) -> bool {
+        self.ramp_up.is_empty()
+    }
+
+    /// The cycle at which the head of the upward ramp becomes visible to the
+    /// router, regardless of the current cycle.
+    pub(crate) fn ramp_up_ready(&self) -> Option<u64> {
+        self.ramp_up.front().map(|&(ready, _)| ready)
+    }
+
+    /// Credit `n` stall cycles in bulk (the fast engine's skip-ahead stands
+    /// in for `n` reference-engine steps in which this PE provably stalled).
+    pub(crate) fn add_stall_cycles(&mut self, n: u64) {
+        self.stats.stall_cycles += n;
+    }
+
+    /// The earliest cycle at which [`PeState::step`] could do anything other
+    /// than stall. `Wake::At` futures come only from the downward ramp (its
+    /// head's readiness is the single time-driven input of a PE); everything
+    /// a router must first unblock reports `Wake::Never`.
+    pub(crate) fn next_wake(&self, now: u64) -> Wake {
+        if self.finished() {
+            return Wake::Never;
+        }
+        if self.pending_noops > 0 {
+            return Wake::Now;
+        }
+        let Some(instruction) = self.program.get(self.pc) else {
+            // The next step records the finish cycle: that is progress.
+            return Wake::Now;
+        };
+        match *instruction {
+            Instruction::Compute { .. } => Wake::Now,
+            Instruction::Send { .. } => {
+                if self.ramp_up_has_space() {
+                    Wake::Now
+                } else {
+                    Wake::Never
+                }
+            }
+            Instruction::Recv { .. } => self.ramp_down_wake(now),
+            Instruction::RecvForward { .. } => match self.ramp_down.front() {
+                None => Wake::Never,
+                Some(&(ready, _)) if ready <= now => {
+                    if self.ramp_up_has_space() {
+                        Wake::Now
+                    } else {
+                        Wake::Never
+                    }
+                }
+                Some(&(ready, _)) => Wake::At(ready),
+            },
+            Instruction::Exchange { len, .. } => {
+                if self.progress_alt < len && self.ramp_up_has_space() {
+                    return Wake::Now;
+                }
+                if self.progress < len {
+                    self.ramp_down_wake(now)
+                } else {
+                    Wake::Never
+                }
+            }
+        }
+    }
+
+    /// When the head of the downward ramp becomes consumable.
+    fn ramp_down_wake(&self, now: u64) -> Wake {
+        match self.ramp_down.front() {
+            None => Wake::Never,
+            Some(&(ready, _)) if ready <= now => Wake::Now,
+            Some(&(ready, _)) => Wake::At(ready),
         }
     }
 

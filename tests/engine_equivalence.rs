@@ -1,0 +1,133 @@
+//! Property-based equivalence of the two fabric engines.
+//!
+//! The fast event-driven engine (`EngineKind::Fast`, the default) must be
+//! *observably byte-identical* to the reference cycle-stepper
+//! (`EngineKind::Reference`) — same [`wse_fabric::RunReport`] (cycles,
+//! per-PE finish times, energy, link loads, stall/no-op counters), same
+//! outputs, same errors — across every collective the library can plan,
+//! with and without thermal noise. These properties drive randomly shaped
+//! 1D/2D plans through both engines via the public request API and compare
+//! whole outcomes with `==`, not tolerances.
+
+use proptest::prelude::*;
+
+use wse_collectives::prelude::*;
+use wse_fabric::NoiseModel;
+use wse_integration_tests::deterministic_inputs;
+use wse_model::Machine;
+
+/// Run one request through both engines and assert byte-identity of the
+/// full outcome (report and outputs).
+fn assert_engines_agree(request: &CollectiveRequest, ramp_latency: u64, noise: Option<NoiseModel>) {
+    let machine = Machine::wse2();
+    let resolved = request.resolve(&machine).expect("request resolves");
+    let sources =
+        if request.kind == CollectiveKind::Broadcast { 1 } else { request.topology.num_pes() };
+    let inputs = deterministic_inputs(sources, request.vector_len as usize);
+
+    let mut fast = RunConfig::with_ramp_latency(ramp_latency);
+    fast.noise = noise;
+    let reference = fast.clone().with_engine(EngineKind::Reference);
+
+    let fast_outcome = run_plan(&resolved.plan, &inputs, &fast).expect("fast run succeeds");
+    let reference_outcome =
+        run_plan(&resolved.plan, &inputs, &reference).expect("reference run succeeds");
+
+    assert_eq!(fast_outcome.report, reference_outcome.report, "reports diverge: {request:?}");
+    assert_eq!(fast_outcome.outputs, reference_outcome.outputs, "outputs diverge: {request:?}");
+}
+
+/// Build a random collective request from sampled primitives: 1D and 2D
+/// topologies, all three kinds, all reduce ops, explicit and Auto schedules.
+fn build_request(
+    shape: u32,
+    p: u32,
+    w: u32,
+    h: u32,
+    b: u32,
+    op: u32,
+    schedule: u32,
+) -> CollectiveRequest {
+    let op = [ReduceOp::Sum, ReduceOp::Max, ReduceOp::Min, ReduceOp::Prod][op as usize % 4];
+    match shape % 6 {
+        0 => {
+            let pattern = [
+                ReducePattern::Star,
+                ReducePattern::Chain,
+                ReducePattern::Tree,
+                ReducePattern::TwoPhase,
+                ReducePattern::AutoGen,
+            ][schedule as usize % 5];
+            CollectiveRequest::reduce(Topology::line(p), b)
+                .with_op(op)
+                .with_schedule(Schedule::Reduce1d(pattern))
+        }
+        1 => CollectiveRequest::allreduce(Topology::line(p), b).with_op(op),
+        2 => CollectiveRequest::broadcast(Topology::line(p), b),
+        3 => CollectiveRequest::reduce(Topology::grid(w, h), b).with_op(op),
+        4 => CollectiveRequest::allreduce(Topology::grid(w, h), b),
+        _ => CollectiveRequest::broadcast(Topology::grid(w, h), b),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Any plannable collective, any ramp latency: identical reports and
+    /// outputs on both engines.
+    #[test]
+    fn engines_agree_on_noiseless_runs(
+        shape in 0u32..6,
+        p in 2u32..14,
+        w in 2u32..5,
+        h in 2u32..5,
+        b in 1u32..24,
+        op in 0u32..4,
+        schedule in 0u32..5,
+        ramp_latency in 0u64..6,
+    ) {
+        let request = build_request(shape, p, w, h, b, op, schedule);
+        assert_engines_agree(&request, ramp_latency, None);
+    }
+
+    /// With a thermal-noise model attached (which disables skip-ahead but
+    /// not active-set routing), the engines still agree draw for draw.
+    #[test]
+    fn engines_agree_under_noise(
+        shape in 0u32..6,
+        p in 2u32..12,
+        w in 2u32..4,
+        h in 2u32..4,
+        b in 1u32..16,
+        op in 0u32..4,
+        schedule in 0u32..5,
+        probability in 0.01f64..0.25,
+        seed in 0u64..1_000_000,
+    ) {
+        let request = build_request(shape, p, w, h, b, op, schedule);
+        assert_engines_agree(&request, 2, Some(NoiseModel::new(probability, seed)));
+    }
+}
+
+/// A fast-engine run repeated on the session's reset fabric reproduces
+/// itself exactly — the event-driven state (active sets, wake times) leaves
+/// no residue behind `Fabric::reset`.
+#[test]
+fn fast_rerun_on_reset_fabric_reproduces_itself() {
+    let mut session = Session::new();
+    let requests = [
+        CollectiveRequest::reduce(Topology::line(12), 32),
+        CollectiveRequest::allreduce(Topology::grid(3, 3), 16),
+        CollectiveRequest::broadcast(Topology::line(9), 24),
+    ];
+    for request in &requests {
+        let sources =
+            if request.kind == CollectiveKind::Broadcast { 1 } else { request.topology.num_pes() };
+        let inputs = deterministic_inputs(sources, request.vector_len as usize);
+        let first = session.run(request, &inputs).unwrap();
+        let second = session.run(request, &inputs).unwrap();
+        assert_eq!(first.report, second.report, "{request:?}");
+        assert_eq!(first.outputs, second.outputs, "{request:?}");
+    }
+    assert!(session.stats().fabric_reuses >= 3, "reruns must exercise the reset path");
+}
