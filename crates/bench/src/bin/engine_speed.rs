@@ -14,12 +14,24 @@
 //! [`RunReport`]s and receiver memory — the speedup is only meaningful
 //! because the answers are the same.
 //!
+//! The dense points sweep a 2D reduce and a 2D allreduce over grids where
+//! every PE participates — the regime the fast engine's struct-of-arrays
+//! dense executor targets. Each dense point reports the fast engine twice:
+//! with the dense regime enabled (default) and with it disabled
+//! (`dense_threshold_pct` above 100, i.e. the event-driven path alone), so
+//! the JSON records what the dense executor itself buys. Dense cps clocks
+//! `Fabric::run` alone on a reused fabric (plan re-install is untimed), so
+//! the ratios compare engine stepping speed, not fabric construction.
+//!
 //! Flags:
 //!
 //! * `--quick`           fewer/smaller grids, shorter timing windows (CI)
 //! * `--out F`           JSON output path (default `BENCH_engine.json`)
 //! * `--assert-speedup`  fail unless fast/reference clears the bar on the
 //!   largest sparse grid (5x; the measured margin is typically far larger)
+//! * `--assert-dense-speedup`  fail unless, on the largest dense-reduce
+//!   grid, fast/reference clears 1.5x and the dense executor clears 1.1x
+//!   over the fast engine with the dense regime disabled
 
 use std::time::{Duration, Instant};
 
@@ -33,21 +45,27 @@ struct Options {
     quick: bool,
     out: String,
     assert_speedup: bool,
+    assert_dense_speedup: bool,
 }
 
 impl Options {
     fn from_args() -> Self {
-        let mut opts =
-            Options { quick: false, out: "BENCH_engine.json".to_string(), assert_speedup: false };
+        let mut opts = Options {
+            quick: false,
+            out: "BENCH_engine.json".to_string(),
+            assert_speedup: false,
+            assert_dense_speedup: false,
+        };
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
             match arg.as_str() {
                 "--quick" => opts.quick = true,
                 "--out" => opts.out = args.next().expect("--out needs a path"),
                 "--assert-speedup" => opts.assert_speedup = true,
+                "--assert-dense-speedup" => opts.assert_dense_speedup = true,
                 other => eprintln!(
                     "ignoring unknown argument {other:?} \
-                     (supported: --quick, --out F, --assert-speedup)"
+                     (supported: --quick, --out F, --assert-speedup, --assert-dense-speedup)"
                 ),
             }
         }
@@ -64,6 +82,8 @@ struct Point {
     reference_cps: f64,
     fast_cps: f64,
     speedup: f64,
+    /// Fast engine with the dense regime disabled (dense points only).
+    fast_nodense_cps: Option<f64>,
 }
 
 const MESSAGE_LEN: u32 = 16;
@@ -154,42 +174,96 @@ fn sparse_point(width: u32, height: u32, window: Duration) -> Point {
         reference_cps,
         fast_cps,
         speedup: fast_cps / reference_cps.max(1e-9),
+        fast_nodense_cps: None,
     }
 }
 
-/// The dense sanity point: a 2D reduce keeping the whole grid busy. The fast
-/// engine cannot skip much here; the point checks its bookkeeping overhead.
-fn dense_point(width: u32, height: u32, window: Duration) -> Point {
-    let request = CollectiveRequest::reduce(Topology::grid(width, height), 32);
+/// One dense point: a 2D collective keeping the whole grid busy — the regime
+/// of the struct-of-arrays dense executor. Measures the reference engine,
+/// the full fast engine, and the fast engine with its dense regime disabled
+/// (the event-driven path alone), asserting byte-identity across all three.
+fn dense_point(
+    label: &'static str,
+    allreduce: bool,
+    width: u32,
+    height: u32,
+    window: Duration,
+) -> Point {
+    let topology = Topology::grid(width, height);
+    let request = if allreduce {
+        CollectiveRequest::allreduce(topology, 32)
+    } else {
+        CollectiveRequest::reduce(topology, 32)
+    };
     let resolved = request.resolve(&Machine::wse2()).expect("dense request resolves");
     let inputs = wse_bench::make_inputs((width * height) as usize, 32);
 
-    let rate = |engine: Engine| {
-        let config = RunConfig::default().with_engine(engine);
+    // Dense cps measures the engines' *stepping* speed: the fabric is built
+    // once and reused (reset + plan re-install each iteration, untimed), and
+    // only `Fabric::run` is on the clock. Timing the whole `run_plan` would
+    // fold a per-iteration `Fabric::new` — O(grid) allocation, identical for
+    // both engines — into every ratio and dilute them.
+    let rate = |engine: Engine, dense_threshold: Option<u32>| {
+        let mut params = FabricParams::default().with_engine(engine);
+        if let Some(pct) = dense_threshold {
+            params = params.with_dense_threshold(pct);
+        }
+        let mut fabric = Fabric::new(resolved.plan.dim(), params);
         let mut total_cycles = 0u64;
+        let mut run_time = Duration::ZERO;
         let start = Instant::now();
-        let outcome = loop {
-            let result = run_plan(&resolved.plan, &inputs, &config).expect("dense reduce runs");
-            total_cycles += result.report.cycles;
-            if start.elapsed() >= window {
-                break result;
+        loop {
+            fabric.reset();
+            resolved.plan.apply(&mut fabric);
+            for (at, data) in resolved.plan.data_pes().iter().zip(&inputs) {
+                fabric.set_local(*at, data);
             }
-        };
-        (total_cycles as f64 / start.elapsed().as_secs_f64().max(1e-9), outcome)
+            let timed = Instant::now();
+            let report = fabric.run().expect("dense collective runs");
+            run_time += timed.elapsed();
+            total_cycles += report.cycles;
+            if start.elapsed() >= window {
+                break;
+            }
+        }
+        total_cycles as f64 / run_time.as_secs_f64().max(1e-9)
     };
 
-    let (fast_cps, fast_outcome) = rate(Engine::Fast);
-    let (reference_cps, reference_outcome) = rate(Engine::Reference);
-    assert_eq!(fast_outcome.report, reference_outcome.report, "dense: engine reports diverge");
-    assert_eq!(fast_outcome.outputs, reference_outcome.outputs, "dense: outputs diverge");
+    // Byte-identity is asserted on full untimed runs through `run_plan`,
+    // comparing reports and gathered outputs across all three configurations.
+    let once = |engine: Engine, dense_threshold: Option<u32>| {
+        let mut config = RunConfig::default().with_engine(engine);
+        if let Some(pct) = dense_threshold {
+            config.params = config.params.with_dense_threshold(pct);
+        }
+        run_plan(&resolved.plan, &inputs, &config).expect("dense collective runs")
+    };
+
+    let fast_outcome = once(Engine::Fast, None);
+    let nodense_outcome = once(Engine::Fast, Some(101));
+    let reference_outcome = once(Engine::Reference, None);
+    let fast_cps = rate(Engine::Fast, None);
+    let nodense_cps = rate(Engine::Fast, Some(101));
+    let reference_cps = rate(Engine::Reference, None);
+    assert_eq!(fast_outcome.report, reference_outcome.report, "{label}: engine reports diverge");
+    assert_eq!(fast_outcome.outputs, reference_outcome.outputs, "{label}: outputs diverge");
+    assert_eq!(
+        nodense_outcome.report, reference_outcome.report,
+        "{label}: no-dense report diverges"
+    );
+    assert_eq!(
+        nodense_outcome.outputs, reference_outcome.outputs,
+        "{label}: no-dense outputs diverge"
+    );
     Point {
-        label: "dense",
+        label,
         width,
         height,
         run_cycles: fast_outcome.report.cycles,
         reference_cps,
         fast_cps,
         speedup: fast_cps / reference_cps.max(1e-9),
+        fast_nodense_cps: Some(nodense_cps),
     }
 }
 
@@ -199,14 +273,22 @@ fn json(points: &[Point], quick: bool) -> String {
     out.push_str("  \"benchmark\": \"engine_speed\",\n");
     out.push_str(&format!(
         "  \"workload\": \"sparse: {MESSAGE_LEN}-value row-crossing message; \
-         dense: 2D reduce b=32\",\n"
+         dense: 2D reduce/allreduce b=32\",\n"
     ));
     out.push_str(&format!("  \"quick\": {quick},\n"));
     out.push_str("  \"points\": [\n");
     for (i, p) in points.iter().enumerate() {
+        let nodense = match p.fast_nodense_cps {
+            Some(cps) => format!(
+                ", \"fast_nodense_cps\": {:.0}, \"nodense_speedup\": {:.2}",
+                cps,
+                cps / p.reference_cps.max(1e-9)
+            ),
+            None => String::new(),
+        };
         out.push_str(&format!(
             "    {{\"label\": \"{}\", \"width\": {}, \"height\": {}, \"run_cycles\": {}, \
-             \"reference_cps\": {:.0}, \"fast_cps\": {:.0}, \"speedup\": {:.2}}}{}\n",
+             \"reference_cps\": {:.0}, \"fast_cps\": {:.0}, \"speedup\": {:.2}{}}}{}\n",
             p.label,
             p.width,
             p.height,
@@ -214,6 +296,7 @@ fn json(points: &[Point], quick: bool) -> String {
             p.reference_cps,
             p.fast_cps,
             p.speedup,
+            nodense,
             if i + 1 < points.len() { "," } else { "" },
         ));
     }
@@ -227,35 +310,43 @@ fn main() {
         if opts.quick { &[(12, 12), (32, 32)] } else { &[(16, 16), (32, 32), (64, 64), (96, 96)] };
     let window = if opts.quick { Duration::from_millis(25) } else { Duration::from_millis(200) };
 
+    let dense_grids: &[(u32, u32)] =
+        if opts.quick { &[(12, 12), (24, 24)] } else { &[(12, 12), (24, 24), (48, 48)] };
+
     println!("# Engine speed: event-driven fast path vs. reference cycle-stepper");
     println!(
-        "{:>8} {:>9} {:>11} {:>16} {:>16} {:>9}",
-        "workload", "grid", "cycles/run", "reference(c/s)", "fast(c/s)", "speedup"
+        "{:>15} {:>9} {:>11} {:>16} {:>16} {:>9} {:>11}",
+        "workload", "grid", "cycles/run", "reference(c/s)", "fast(c/s)", "speedup", "no-dense"
     );
     let mut points = Vec::new();
     for &(w, h) in grids {
         points.push(sparse_point(w, h, window));
     }
-    points.push(dense_point(
-        if opts.quick { 8 } else { 12 },
-        if opts.quick { 8 } else { 12 },
-        window,
-    ));
+    for &(w, h) in dense_grids {
+        points.push(dense_point("dense-reduce", false, w, h, window));
+        points.push(dense_point("dense-allreduce", true, w, h, window));
+    }
     for p in &points {
+        let nodense = match p.fast_nodense_cps {
+            Some(cps) => format!("{:.1}x", cps / p.reference_cps.max(1e-9)),
+            None => "-".to_string(),
+        };
         println!(
-            "{:>8} {:>9} {:>11} {:>16.0} {:>16.0} {:>8.1}x",
+            "{:>15} {:>9} {:>11} {:>16.0} {:>16.0} {:>8.1}x {:>11}",
             p.label,
             format!("{}x{}", p.width, p.height),
             p.run_cycles,
             p.reference_cps,
             p.fast_cps,
             p.speedup,
+            nodense,
         );
     }
 
     // The fast engine must win where it is designed to: the largest sparse
-    // grid. The gate is opt-in (like the throughput harness) so CI smoke
-    // runs on loaded shared runners stay deterministic.
+    // grid, and (with the dense regime) the largest dense reduce. The gates
+    // are opt-in (like the throughput harness) so CI smoke runs on loaded
+    // shared runners stay deterministic.
     let sparse_best =
         points.iter().rev().find(|p| p.label == "sparse").expect("sparse points exist");
     if opts.assert_speedup {
@@ -265,6 +356,30 @@ fn main() {
             sparse_best.speedup,
             sparse_best.width,
             sparse_best.height
+        );
+    }
+    // The dense bars sit well below typical measurements (the largest dense
+    // reduce runs ~1.8-2.6x the reference here) but above what the
+    // event-driven path manages alone (~1.2-1.45x), so a regression that
+    // effectively disables the dense executor trips them even on a noisy
+    // runner.
+    let dense_best =
+        points.iter().rev().find(|p| p.label == "dense-reduce").expect("dense points exist");
+    if opts.assert_dense_speedup {
+        assert!(
+            dense_best.speedup >= 1.5,
+            "dense-regime speedup {:.1}x on {}x{} is below the 1.5x bar",
+            dense_best.speedup,
+            dense_best.width,
+            dense_best.height
+        );
+        let nodense = dense_best.fast_nodense_cps.expect("dense points record a no-dense rate");
+        assert!(
+            dense_best.fast_cps >= 1.1 * nodense,
+            "dense executor buys only {:.2}x over the event-driven path on {}x{} (bar: 1.1x)",
+            dense_best.fast_cps / nodense.max(1e-9),
+            dense_best.width,
+            dense_best.height
         );
     }
 

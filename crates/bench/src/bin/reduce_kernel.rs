@@ -1,0 +1,124 @@
+//! Microbench for the chunked `f32` reduce kernels (`wse_fabric::kernel`).
+//!
+//! The dense-regime executor leans on [`reduce_into`] staying
+//! autovectorized; an added branch or a changed loop shape in the kernel
+//! silently drops it back to scalar code. This bin times the kernel against
+//! a deliberately scalar baseline — the same per-element [`ReduceOp::apply`]
+//! with [`std::hint::black_box`] on every element, which the compiler cannot
+//! vectorize — so the vector/scalar gap is visible regardless of how clever
+//! the optimizer is with ordinary loops.
+//!
+//! Before timing anything the bin re-checks bitwise equivalence of the
+//! kernel against element-wise `apply` on lengths straddling the chunk
+//! width, including NaN operands for `Max`/`Min`.
+//!
+//! Flags:
+//!
+//! * `--quick`               shorter timing windows (CI smoke)
+//! * `--assert-vectorized`   fail unless the kernel beats the scalar
+//!   baseline by 2x for `Sum` on the largest size (typical gap is larger)
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use wse_fabric::kernel::{reduce_into, LANES};
+use wse_fabric::program::ReduceOp;
+
+const OPS: [ReduceOp; 4] = [ReduceOp::Sum, ReduceOp::Max, ReduceOp::Min, ReduceOp::Prod];
+/// Benchmarked slice lengths: the collectives' block size, a mid size, and
+/// an L1-resident large size.
+const SIZES: [usize; 3] = [32, 256, 4096];
+
+fn scalar_baseline(op: ReduceOp, acc: &mut [f32], incoming: &[f32]) {
+    for (a, b) in acc.iter_mut().zip(incoming) {
+        *a = black_box(op.apply(*a, *b));
+    }
+}
+
+/// Elements per nanosecond over repeated in-cache applications; best of
+/// `batches` timing batches so one scheduler hiccup does not poison a point.
+fn rate(mut f: impl FnMut(&mut [f32], &[f32]), len: usize, iters: u32, batches: u32) -> f64 {
+    let incoming: Vec<f32> = (0..len).map(|i| 1.0 + (i % 13) as f32 * 0.25).collect();
+    let mut acc: Vec<f32> = (0..len).map(|i| (i % 7) as f32 * 0.5 - 1.0).collect();
+    let mut best = f64::MAX;
+    for _ in 0..batches {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f(&mut acc, &incoming);
+        }
+        let ns = start.elapsed().as_nanos() as f64;
+        best = best.min(ns / (len as f64 * iters as f64));
+        black_box(&acc);
+    }
+    1.0 / best
+}
+
+/// Bitwise self-check of the kernel against element-wise `apply` (the unit
+/// tests cover this too; re-checking here keeps the bin trustworthy on its
+/// own).
+fn check() {
+    for op in OPS {
+        for len in [0usize, 1, LANES - 1, LANES, LANES + 1, 2 * LANES, 33] {
+            let mut acc: Vec<f32> = (0..len).map(|i| i as f32 * 0.75 - 3.0).collect();
+            let incoming: Vec<f32> = (0..len).map(|i| 10.0 - i as f32 * 1.25).collect();
+            if len > 1 {
+                acc[len / 2] = f32::NAN;
+                acc[len - 1] = f32::NAN;
+            }
+            let expected: Vec<u32> =
+                acc.iter().zip(&incoming).map(|(&a, &b)| op.apply(a, b).to_bits()).collect();
+            reduce_into(op, &mut acc, &incoming);
+            let got: Vec<u32> = acc.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got, expected, "kernel diverges from scalar apply: {op:?} len {len}");
+        }
+    }
+}
+
+fn main() {
+    let mut quick = false;
+    let mut assert_vectorized = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--assert-vectorized" => assert_vectorized = true,
+            other => eprintln!(
+                "ignoring unknown argument {other:?} (supported: --quick, --assert-vectorized)"
+            ),
+        }
+    }
+    check();
+
+    let batches = if quick { 5 } else { 20 };
+    println!("# Chunked reduce kernel vs. scalar (black_box) baseline, elements/ns");
+    println!("{:>6} {:>6} {:>12} {:>12} {:>8}", "op", "len", "kernel", "scalar", "ratio");
+    let mut sum_large_ratio = 0.0f64;
+    for op in OPS {
+        for len in SIZES {
+            // Aim each batch at roughly the same wall time across sizes.
+            let iters = (if quick { 200_000 } else { 2_000_000 } / len.max(1)).max(16) as u32;
+            let kernel = rate(|a, b| reduce_into(op, a, b), len, iters, batches);
+            let scalar = rate(|a, b| scalar_baseline(op, a, b), len, iters, batches);
+            let ratio = kernel / scalar.max(1e-12);
+            if op == ReduceOp::Sum && len == SIZES[SIZES.len() - 1] {
+                sum_large_ratio = ratio;
+            }
+            println!(
+                "{:>6} {:>6} {:>12.3} {:>12.3} {:>7.1}x",
+                format!("{op:?}"),
+                len,
+                kernel,
+                scalar,
+                ratio
+            );
+        }
+    }
+
+    if assert_vectorized {
+        assert!(
+            sum_large_ratio >= 2.0,
+            "reduce kernel is only {sum_large_ratio:.1}x the scalar baseline for Sum/{} — \
+             it has likely de-vectorized",
+            SIZES[SIZES.len() - 1]
+        );
+    }
+}

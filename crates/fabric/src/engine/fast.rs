@@ -27,8 +27,15 @@
 //! skipped without desynchronising the noise stream. The active-set
 //! machinery still applies (sampling touches all PEs, stepping and routing
 //! only active ones).
+//!
+//! When most PEs are busy at once, neither trick pays — there is nothing to
+//! skip and the active sets cover the whole grid. The run loop then hands
+//! whole segments of the simulation to the struct-of-arrays executor of
+//! [`super::dense`], re-entering the event-driven loop when density drops
+//! (see [the dense regime](super) and
+//! [`super::FabricParams::dense_threshold_pct`]).
 
-use super::{Fabric, FabricError, RunReport};
+use super::{dense, Fabric, FabricError, RunReport};
 use crate::pe::Wake;
 
 /// The [`super::EngineKind::Fast`] run loop.
@@ -40,10 +47,12 @@ pub(super) fn run(fabric: &mut Fabric) -> Result<RunReport, FabricError> {
     // Seed the active sets from the current state: `run` may be called on a
     // fabric that was already hand-stepped. Both lists stay sorted ascending
     // so phase order (and therefore error precedence) matches the reference.
+    let dense_threshold = dense::entry_threshold(fabric);
     let mut unfinished: Vec<usize> = (0..n).filter(|&i| !fabric.pes[i].finished()).collect();
     let mut router_active: Vec<bool> = (0..n).map(|i| fabric.router_has_work(i)).collect();
     let mut active: Vec<usize> = (0..n).filter(|&i| router_active[i]).collect();
     let mut snapshot: Vec<usize> = Vec::new();
+    let mut fresh: Vec<usize> = Vec::new();
     let mut pushed: Vec<usize> = Vec::new();
     let mut idle_cycles = 0u64;
 
@@ -57,6 +66,38 @@ pub(super) fn run(fabric: &mut Fabric) -> Result<RunReport, FabricError> {
         }
         if fabric.cycle >= fabric.params.max_cycles {
             return Err(FabricError::CycleLimitExceeded { limit: fabric.params.max_cycles });
+        }
+
+        // Dense regime. The cheap unfinished-count gate keeps the O(n)
+        // working-lane scan off the steady sparse path; the scan itself
+        // excludes unfinished-but-unprogrammed PEs (their one-step epilogue
+        // would otherwise read as 100% density on an idle fabric).
+        if let Some(pct) = dense_threshold {
+            if unfinished.len() * 100 >= pct * n
+                && unfinished
+                    .iter()
+                    .filter(|&&i| fabric.pes[i].has_instructions_remaining())
+                    .count()
+                    * 100
+                    >= pct * n
+            {
+                match dense::run_segment(fabric, &mut idle_cycles, pct)? {
+                    Some(report) => return Ok(report),
+                    None => {
+                        // Density dropped (or a cycle was replayed scalar):
+                        // reseed the active sets from the fabric and resume
+                        // event-driven stepping.
+                        unfinished.clear();
+                        unfinished.extend((0..n).filter(|&i| !fabric.pes[i].finished()));
+                        for (i, slot) in router_active.iter_mut().enumerate() {
+                            *slot = fabric.router_has_work(i);
+                        }
+                        active.clear();
+                        active.extend((0..n).filter(|&i| router_active[i]));
+                        continue;
+                    }
+                }
+            }
         }
 
         if !noisy {
@@ -91,9 +132,11 @@ pub(super) fn run(fabric: &mut Fabric) -> Result<RunReport, FabricError> {
         // Phase 1: noise for all PEs (keeps the RNG stream aligned with the
         // reference engine, which draws for finished PEs too), then program
         // execution for unfinished ones. A `Send` can surface the first ramp
-        // wavelet of a quiet router, so activation is checked immediately —
-        // with a zero ramp latency it must route this very cycle.
+        // wavelet of a quiet router, so activation is collected immediately —
+        // with a zero ramp latency it must route this very cycle. Walking
+        // `unfinished` ascending makes `fresh` sorted by construction.
         fabric.inject_noise_all();
+        fresh.clear();
         for &i in &unfinished {
             match fabric.pes[i].step(now, t_r) {
                 Ok(adv) => progress |= adv,
@@ -101,27 +144,35 @@ pub(super) fn run(fabric: &mut Fabric) -> Result<RunReport, FabricError> {
             }
             if !router_active[i] && fabric.router_has_work(i) {
                 router_active[i] = true;
-                insert_sorted(&mut active, i);
+                fresh.push(i);
             }
         }
         unfinished.retain(|&i| !fabric.pes[i].finished());
 
         // Phase 2: route the routers that were active entering the cycle
-        // (plus any activated in phase 1). Routers that receive their first
-        // wavelet *this* cycle join for the next one — their new head is not
-        // visible before then anyway.
+        // plus any activated in phase 1, merged in one pass (no O(n)
+        // mid-vector inserts). Routers that receive their first wavelet
+        // *this* cycle join for the next one — their new head is not visible
+        // before then anyway.
         snapshot.clear();
-        snapshot.extend_from_slice(&active);
+        merge_sorted(&active, &fresh, &mut snapshot);
         pushed.clear();
         for &i in &snapshot {
             progress |= fabric.route_one(i, now, Some(&mut pushed))?;
         }
+        fresh.clear();
         for &ni in &pushed {
+            // `router_active` doubles as the dedup set: a router already in
+            // `snapshot` (or pushed to twice) is skipped here and kept, if
+            // still loaded, by the retain below.
             if !router_active[ni] {
                 router_active[ni] = true;
-                insert_sorted(&mut active, ni);
+                fresh.push(ni);
             }
         }
+        fresh.sort_unstable();
+        active.clear();
+        merge_sorted(&snapshot, &fresh, &mut active);
         active.retain(|&i| {
             let keep = fabric.router_has_work(i);
             if !keep {
@@ -171,11 +222,22 @@ fn next_wake(fabric: &Fabric, unfinished: &[usize], active: &[usize]) -> u64 {
     wake
 }
 
-/// Insert `value` into a sorted vector of distinct indices, keeping order.
-fn insert_sorted(list: &mut Vec<usize>, value: usize) {
-    let pos = list.partition_point(|&x| x < value);
-    debug_assert!(list.get(pos) != Some(&value));
-    list.insert(pos, value);
+/// Merge two sorted, disjoint index lists into `out` (cleared by the caller).
+fn merge_sorted(a: &[usize], b: &[usize], out: &mut Vec<usize>) {
+    out.reserve(a.len() + b.len());
+    let (mut ia, mut ib) = (0, 0);
+    while ia < a.len() && ib < b.len() {
+        debug_assert_ne!(a[ia], b[ib], "merge inputs must be disjoint");
+        if a[ia] < b[ib] {
+            out.push(a[ia]);
+            ia += 1;
+        } else {
+            out.push(b[ib]);
+            ib += 1;
+        }
+    }
+    out.extend_from_slice(&a[ia..]);
+    out.extend_from_slice(&b[ib..]);
 }
 
 #[cfg(test)]

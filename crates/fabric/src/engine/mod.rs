@@ -32,6 +32,41 @@
 //! one jump instead of idling through the gap. On large grids with sparse
 //! traffic this removes almost all per-cycle work.
 //!
+//! # The dense regime
+//!
+//! Active sets and skip-ahead buy nothing when nearly every PE is busy —
+//! exactly the regime of the paper's dense collectives. For that case the
+//! fast engine owns a second gear (`engine/dense.rs`): when the fraction of
+//! PEs that are unfinished *and still have program instructions* reaches
+//! [`FabricParams::dense_threshold_pct`] (default 40%), the run switches to
+//! a lane-batched executor that moves the hot per-PE state (program
+//! counters, progress, ramp FIFOs, routing cursors) into struct-of-arrays
+//! mirrors, steps cohorts of PEs executing the same instruction kind in
+//! tight loops, applies [`crate::program::ReduceOp`]s through the chunked
+//! kernels of [`crate::kernel`] over contiguous `f32` scratch slices, and
+//! routes in two passes — a gather pass that collects each occupied input
+//! port's visible head wavelet (turning the per-event chain of dependent
+//! loads into independent, overlappable ones) and a commit pass that moves
+//! them through per-rule destination caches and an L1-resident full-queue
+//! bitset instead of per-wavelet linear scans. The executor hands control
+//! back to the event-driven loop only when a cycle makes no progress while
+//! the live-lane density has dropped below *half* the entry threshold: a
+//! flowing pipeline is cheaper to step here regardless of density, but an
+//! idle cycle at low density is exactly what skip-ahead exists for. A run
+//! may alternate between the two gears any number of times. Setting the
+//! knob above 100 disables the dense path, 0 forces it from the first cycle
+//! (and, since the density clause then never fires, pins the whole run to
+//! it).
+//!
+//! Dense stepping makes no skip-ahead jumps and is therefore also used
+//! under a noise model. Byte-identity is preserved by construction: PE
+//! phase-1 steps of one cycle are mutually independent (so cohort order does
+//! not matter), routing replays the reference's exact ascending router /
+//! port / fairness order against the mirrored state, and any cycle in which
+//! a lane *would* raise a program error is abandoned before mutation and
+//! replayed through the scalar [`crate::pe::PeState::step`] path, which
+//! reproduces the reference's first-erroring-PE precedence exactly.
+//!
 //! # Equivalence contract
 //!
 //! The fast engine is *observably byte-identical* to the reference engine:
@@ -47,6 +82,7 @@
 //! internal state *after* an error has been returned (e.g. the noise RNG
 //! position), which no API reports and which [`Fabric::reset`] discards.
 
+mod dense;
 mod fast;
 mod reference;
 
@@ -168,6 +204,14 @@ pub struct FabricParams {
     /// quiet gaps grow with their diameter, cannot trip a false deadlock,
     /// while small grids keep the historical fixed 16.
     pub deadlock_patience: Option<u64>,
+    /// Percentage (0–100) of PEs that must be unfinished *with instructions
+    /// remaining* for [`EngineKind::Fast`] to switch to its lane-batched
+    /// dense executor (see the [module docs](self)). The executor exits
+    /// again, with hysteresis, when the live-lane fraction drops below half
+    /// this value. `None` picks the default of 40. Values above 100 disable
+    /// dense stepping; 0 forces it from the first cycle. Purely a
+    /// performance knob: results are byte-identical for every setting.
+    pub dense_threshold_pct: Option<u32>,
 }
 
 impl Default for FabricParams {
@@ -177,6 +221,7 @@ impl Default for FabricParams {
             max_cycles: 200_000_000,
             engine: EngineKind::default(),
             deadlock_patience: None,
+            dense_threshold_pct: None,
         }
     }
 }
@@ -190,6 +235,12 @@ impl FabricParams {
     /// The same parameters with a different engine.
     pub fn with_engine(self, engine: EngineKind) -> Self {
         FabricParams { engine, ..self }
+    }
+
+    /// The same parameters with a different dense-regime entry threshold
+    /// (see [`FabricParams::dense_threshold_pct`]).
+    pub fn with_dense_threshold(self, pct: u32) -> Self {
+        FabricParams { dense_threshold_pct: Some(pct), ..self }
     }
 }
 

@@ -1,0 +1,96 @@
+//! Chunked, autovectorization-friendly `f32` reduce kernels.
+//!
+//! The dense-regime executor of the fast engine (`engine/dense.rs`) gathers
+//! the operands of every PE performing the same [`ReduceOp`] this cycle into
+//! contiguous scratch slices and combines them here in one call. Each lane is
+//! exactly one binary-operator application — no reassociation, no horizontal
+//! reduction — so the results are bitwise identical to applying
+//! [`ReduceOp::apply`] element by element, whether or not the compiler
+//! vectorizes the loop. The fixed-width inner loop over [`LANES`] elements is
+//! what makes the vectorization reliable: `chunks_exact` gives LLVM a
+//! constant trip count and slices it can prove disjoint.
+//!
+//! The `reduce_kernel` bench bin in `crates/bench` microbenchmarks these
+//! kernels against a plain element-at-a-time loop so an accidental
+//! de-vectorization (e.g. an added branch in the hot loop) shows up as a
+//! throughput regression.
+
+use crate::program::ReduceOp;
+
+/// Lane count of the chunked inner loop (256-bit SIMD worth of `f32`s).
+pub const LANES: usize = 8;
+
+/// Combine `incoming` into `acc` element-wise: `acc[i] = op(acc[i], incoming[i])`.
+///
+/// Bitwise identical to a scalar loop over [`ReduceOp::apply`] — including
+/// `Max`/`Min` NaN propagation, which follows [`f32::max`]/[`f32::min`] per
+/// lane.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn reduce_into(op: ReduceOp, acc: &mut [f32], incoming: &[f32]) {
+    assert_eq!(acc.len(), incoming.len(), "reduce_into needs equal-length slices");
+    match op {
+        ReduceOp::Sum => combine(acc, incoming, |a, b| a + b),
+        ReduceOp::Max => combine(acc, incoming, |a, b| a.max(b)),
+        ReduceOp::Min => combine(acc, incoming, |a, b| a.min(b)),
+        ReduceOp::Prod => combine(acc, incoming, |a, b| a * b),
+    }
+}
+
+#[inline(always)]
+fn combine(acc: &mut [f32], incoming: &[f32], f: impl Fn(f32, f32) -> f32 + Copy) {
+    let mut chunks = acc.chunks_exact_mut(LANES);
+    let mut inc_chunks = incoming.chunks_exact(LANES);
+    for (a, b) in (&mut chunks).zip(&mut inc_chunks) {
+        for i in 0..LANES {
+            a[i] = f(a[i], b[i]);
+        }
+    }
+    for (a, b) in chunks.into_remainder().iter_mut().zip(inc_chunks.remainder()) {
+        *a = f(*a, *b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const OPS: [ReduceOp; 4] = [ReduceOp::Sum, ReduceOp::Max, ReduceOp::Min, ReduceOp::Prod];
+
+    #[test]
+    fn matches_scalar_apply_for_every_op_and_length() {
+        for op in OPS {
+            // Straddle the chunk boundary on both sides.
+            for len in [0usize, 1, 7, 8, 9, 16, 33] {
+                let mut acc: Vec<f32> = (0..len).map(|i| i as f32 * 0.75 - 3.0).collect();
+                let incoming: Vec<f32> = (0..len).map(|i| 10.0 - i as f32 * 1.25).collect();
+                let expected: Vec<f32> =
+                    acc.iter().zip(&incoming).map(|(&a, &b)| op.apply(a, b)).collect();
+                reduce_into(op, &mut acc, &incoming);
+                assert_eq!(
+                    acc.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    expected.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "{op:?} len {len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nan_handling_matches_scalar_max_min() {
+        for op in [ReduceOp::Max, ReduceOp::Min] {
+            let mut acc = vec![f32::NAN, 1.0, f32::NAN, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0];
+            let incoming = vec![1.0, f32::NAN, f32::NAN, 2.0, 1.0, 9.0, 0.0, 6.0, 8.0];
+            let expected: Vec<f32> =
+                acc.iter().zip(&incoming).map(|(&a, &b)| op.apply(a, b)).collect();
+            reduce_into(op, &mut acc, &incoming);
+            assert_eq!(
+                acc.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                expected.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "{op:?}"
+            );
+        }
+    }
+}

@@ -79,6 +79,7 @@
 pub mod clock;
 pub mod engine;
 pub mod geometry;
+pub mod kernel;
 pub mod measure;
 pub mod pe;
 pub mod program;

@@ -48,6 +48,22 @@ pub(crate) enum Wake {
     Never,
 }
 
+/// Hot per-PE execution state moved between a [`PeState`] and the dense
+/// executor's struct-of-arrays mirrors (`engine/dense.rs`). Extraction and
+/// writeback are exact inverses: a writeback immediately after an extraction
+/// restores the PE byte for byte.
+#[derive(Debug)]
+pub(crate) struct DenseHot {
+    pub pc: usize,
+    pub progress: u32,
+    pub progress_alt: u32,
+    pub pending_noops: u32,
+    pub finish_cycle: Option<u64>,
+    pub stats: PeStats,
+    /// The local memory, moved (not copied) out of and back into the PE.
+    pub local: Vec<f32>,
+}
+
 /// The runtime state of one PE: its program, local memory and ramp FIFOs.
 #[derive(Debug, Clone)]
 pub struct PeState {
@@ -456,6 +472,73 @@ impl PeState {
             }
         }
         Ok(advanced)
+    }
+
+    /// Move the hot execution state out of the PE for the dense executor,
+    /// draining the ramp FIFOs (in order) into the provided scratch vectors.
+    pub(crate) fn dense_extract(
+        &mut self,
+        up: &mut Vec<(u64, Wavelet)>,
+        down: &mut Vec<(u64, Wavelet)>,
+    ) -> DenseHot {
+        up.clear();
+        down.clear();
+        up.extend(self.ramp_up.drain(..));
+        down.extend(self.ramp_down.drain(..));
+        DenseHot {
+            pc: self.pc,
+            progress: self.progress,
+            progress_alt: self.progress_alt,
+            pending_noops: self.pending_noops,
+            finish_cycle: self.finish_cycle,
+            stats: self.stats,
+            local: std::mem::take(&mut self.local),
+        }
+    }
+
+    /// Restore the hot execution state after a dense segment. The ramp
+    /// iterators must yield the FIFO contents front to back.
+    pub(crate) fn dense_writeback(
+        &mut self,
+        hot: DenseHot,
+        up: impl Iterator<Item = (u64, Wavelet)>,
+        down: impl Iterator<Item = (u64, Wavelet)>,
+    ) {
+        self.pc = hot.pc;
+        self.progress = hot.progress;
+        self.progress_alt = hot.progress_alt;
+        self.pending_noops = hot.pending_noops;
+        self.finish_cycle = hot.finish_cycle;
+        self.stats = hot.stats;
+        self.local = hot.local;
+        debug_assert!(self.ramp_up.is_empty() && self.ramp_down.is_empty());
+        self.ramp_up.extend(up);
+        self.ramp_down.extend(down);
+    }
+
+    /// The instruction at program counter `pc`, if the program has one.
+    pub(crate) fn instruction_at(&self, pc: usize) -> Option<Instruction> {
+        self.program.get(pc).copied()
+    }
+
+    /// Record an instruction completion at `now` (the dense executor's
+    /// counterpart of the bookkeeping done by `next_instruction`).
+    pub(crate) fn record_instruction_finish(&mut self, now: u64) {
+        self.instruction_finish.push(now);
+    }
+
+    /// Capacity of each ramp FIFO (identical for every PE of a fabric).
+    pub(crate) fn dense_ramp_capacity(&self) -> usize {
+        self.ramp_capacity
+    }
+
+    /// Whether the PE still has program instructions to execute — the dense
+    /// regime's notion of a *working* lane. Unfinished PEs whose program has
+    /// run out (notably never-programmed PEs, which retire on their first
+    /// step) do not count: they contribute one trivial epilogue cycle, not a
+    /// dense workload.
+    pub(crate) fn has_instructions_remaining(&self) -> bool {
+        self.finish_cycle.is_none() && self.pc < self.program.len()
     }
 
     fn next_instruction(&mut self, now: u64) {

@@ -12,7 +12,12 @@
 use proptest::prelude::*;
 
 use wse_collectives::prelude::*;
-use wse_fabric::NoiseModel;
+use wse_fabric::pe::PeStats;
+use wse_fabric::program::PeProgram;
+use wse_fabric::router::{ColorScript, RouteRule};
+use wse_fabric::{
+    Color, Coord, Direction, DirectionSet, Fabric, FabricError, FabricParams, NoiseModel,
+};
 use wse_integration_tests::deterministic_inputs;
 use wse_model::Machine;
 
@@ -107,6 +112,179 @@ proptest! {
         let request = build_request(shape, p, w, h, b, op, schedule);
         assert_engines_agree(&request, 2, Some(NoiseModel::new(probability, seed)));
     }
+}
+
+/// Everything observable about a fabric mid- or post-run, gathered through
+/// the public API: where it stopped, every PE's memory, statistics and
+/// per-instruction finish times.
+#[derive(Debug, PartialEq)]
+struct FabricSnapshot {
+    cycle: u64,
+    locals: Vec<Vec<f32>>,
+    stats: Vec<PeStats>,
+    instruction_finish: Vec<Vec<u64>>,
+}
+
+impl FabricSnapshot {
+    fn take(fabric: &Fabric) -> Self {
+        let dim = fabric.dim();
+        let coords = (0..dim.height).flat_map(|y| (0..dim.width).map(move |x| Coord::new(x, y)));
+        let mut snap = FabricSnapshot {
+            cycle: fabric.cycle(),
+            locals: Vec::new(),
+            stats: Vec::new(),
+            instruction_finish: Vec::new(),
+        };
+        for at in coords {
+            snap.locals.push(fabric.local(at).to_vec());
+            snap.stats.push(fabric.pe_stats(at));
+            snap.instruction_finish.push(fabric.instruction_finish(at).to_vec());
+        }
+        snap
+    }
+}
+
+/// Run `plan` on a raw fabric with the given engine until it fails, and
+/// return the error together with a full state snapshot at the failure
+/// point.
+fn run_until_failure(
+    plan: &wse_collectives::prelude::CollectivePlan,
+    inputs: &[Vec<f32>],
+    params: FabricParams,
+    noise: Option<NoiseModel>,
+) -> (FabricError, FabricSnapshot) {
+    let mut fabric = Fabric::new(plan.dim(), params);
+    fabric.set_noise(noise);
+    plan.apply(&mut fabric);
+    for (at, data) in plan.data_pes().iter().zip(inputs) {
+        fabric.set_local(*at, data);
+    }
+    let err = fabric.run().expect_err("run is expected to fail");
+    (err, FabricSnapshot::take(&fabric))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Dense-shape coverage: 2D allreduce grids up to 16x16 — every PE
+    /// holds a program, so the fast engine's dense SoA executor carries
+    /// (nearly) the whole run — with and without a noise model.
+    #[test]
+    fn engines_agree_on_dense_allreduce_grids(
+        w in 2u32..17,
+        h in 2u32..17,
+        b in 1u32..33,
+        op in 0u32..4,
+        ramp_latency in 0u64..6,
+        noise_sel in 0u32..3,
+        probability in 0.01f64..0.25,
+        seed in 0u64..1_000_000,
+    ) {
+        let op = [ReduceOp::Sum, ReduceOp::Max, ReduceOp::Min, ReduceOp::Prod][op as usize % 4];
+        let request = CollectiveRequest::allreduce(Topology::grid(w, h), b).with_op(op);
+        let noise = (noise_sel > 0).then(|| NoiseModel::new(probability, seed));
+        assert_engines_agree(&request, ramp_latency, noise);
+    }
+
+    /// Cycle-limit truncation: stopping both engines mid-collective (at a
+    /// limit drawn from inside the run) must leave byte-identical errors
+    /// *and* byte-identical intermediate state — memories, statistics,
+    /// instruction finish times — however far the dense executor had taken
+    /// the fast engine.
+    #[test]
+    fn engines_agree_on_cycle_limit_truncation(
+        w in 2u32..13,
+        h in 2u32..13,
+        b in 1u32..17,
+        limit_seed in 0u64..1_000_000,
+        noise_sel in 0u32..3,
+        probability in 0.01f64..0.25,
+        seed in 0u64..1_000_000,
+    ) {
+        let request = CollectiveRequest::allreduce(Topology::grid(w, h), b);
+        let resolved = request.resolve(&Machine::wse2()).expect("request resolves");
+        let inputs = deterministic_inputs(request.topology.num_pes(), b as usize);
+        let noise = (noise_sel > 0).then(|| NoiseModel::new(probability, seed));
+
+        let config = RunConfig { noise: noise.clone(), ..RunConfig::default() };
+        let natural =
+            run_plan(&resolved.plan, &inputs, &config).expect("untruncated run succeeds").report.cycles;
+        prop_assume!(natural >= 2);
+        let limit = 1 + limit_seed % (natural - 1);
+
+        let params = FabricParams { max_cycles: limit, ..FabricParams::default() };
+        let fast = params.with_engine(EngineKind::Fast);
+        let reference = params.with_engine(EngineKind::Reference);
+        let (fast_err, fast_snap) = run_until_failure(&resolved.plan, &inputs, fast, noise.clone());
+        let (ref_err, ref_snap) = run_until_failure(&resolved.plan, &inputs, reference, noise);
+        assert!(
+            matches!(fast_err, FabricError::CycleLimitExceeded { .. }),
+            "expected a cycle-limit error at limit {limit}, got {fast_err:?}"
+        );
+        assert_eq!(fast_err, ref_err, "truncation errors diverge at limit {limit}");
+        assert_eq!(fast_snap, ref_snap, "truncated state diverges at limit {limit}");
+    }
+}
+
+/// Deadlock truncation in the dense regime: every PE participates (half
+/// send, half under-consume), so the fast engine is deep in its SoA dense
+/// path when the fabric wedges. Both engines must report the same deadlock
+/// cycle and stuck-PE set, and leave byte-identical state behind.
+///
+/// No noise variant: injected no-ops count as architectural progress in
+/// both engines, so a noisy fabric never strings together enough idle
+/// cycles to trip deadlock detection — it would run to the cycle limit
+/// instead (the noisy truncation path is covered by
+/// `engines_agree_on_cycle_limit_truncation`).
+#[test]
+fn engines_agree_on_dense_deadlock() {
+    let dim = GridDim::new(8, 8);
+    let color = Color::new(0);
+    let east = DirectionSet::single(Direction::East);
+    let ramp = DirectionSet::single(Direction::Ramp);
+
+    let run = |engine: EngineKind| {
+        let mut fabric = Fabric::new(dim, FabricParams::default().with_engine(engine));
+        // Pair adjacent PEs: even columns send 16 values east, odd columns
+        // consume only 2 — the rest back up through the ramp and inbufs
+        // until nothing can move.
+        for y in 0..dim.height {
+            for x in (0..dim.width).step_by(2) {
+                let sender = Coord::new(x, y);
+                let mut program = PeProgram::new();
+                program.send(color, 0, 16);
+                fabric.set_program(sender, &program);
+                fabric.set_local(sender, &(0..16).map(|i| i as f32 + 1.0).collect::<Vec<_>>());
+                fabric.set_router_script(
+                    sender,
+                    color,
+                    ColorScript::new(vec![RouteRule::forever(Direction::Ramp, east)]),
+                );
+
+                let receiver = Coord::new(x + 1, y);
+                let mut program = PeProgram::new();
+                program.recv_store(color, 0, 2);
+                fabric.set_program(receiver, &program);
+                fabric.set_local(receiver, &[0.0; 2]);
+                fabric.set_router_script(
+                    receiver,
+                    color,
+                    ColorScript::new(vec![RouteRule::forever(Direction::West, ramp)]),
+                );
+            }
+        }
+        let err = fabric.run().expect_err("the over-sent exchange deadlocks");
+        (err, FabricSnapshot::take(&fabric))
+    };
+
+    let (fast_err, fast_snap) = run(EngineKind::Fast);
+    let (ref_err, ref_snap) = run(EngineKind::Reference);
+    assert!(
+        matches!(fast_err, FabricError::Deadlock { .. }),
+        "expected a deadlock, got {fast_err:?}"
+    );
+    assert_eq!(fast_err, ref_err, "deadlock errors diverge");
+    assert_eq!(fast_snap, ref_snap, "deadlocked state diverges");
 }
 
 /// A fast-engine run repeated on the session's reset fabric reproduces
