@@ -1,14 +1,16 @@
 //! AllReduce plans: Reduce-then-Broadcast (§6.1), the Ring AllReduce (§6.2)
 //! and the 2D composition of §7.4.
 
-use wse_fabric::geometry::{Coord, Direction, DirectionSet, GridDim};
-use wse_fabric::program::{RecvMode, ReduceOp};
-use wse_fabric::router::RouteRule;
+use wse_fabric::geometry::{Coord, GridDim};
+use wse_fabric::program::ReduceOp;
 use wse_fabric::wavelet::Color;
 use wse_model::Machine;
 
 use crate::broadcast::{append_flood_broadcast, append_flood_broadcast_2d};
 use crate::path::LinePath;
+use crate::phases::{
+    append_allgather_rounds, append_reduce_scatter_rounds, append_ring_routes, RingColors,
+};
 use crate::plan::CollectivePlan;
 use crate::reduce::{Reduce2dPattern, ReducePattern, BROADCAST_COLOR};
 use crate::tree_plan::append_tree_reduce;
@@ -112,102 +114,23 @@ pub fn ring_allreduce_plan(p: u32, vector_len: u32, op: ReduceOp) -> CollectiveP
     );
     let dim = GridDim::row(p);
     let chunk = vector_len / p;
-    let east_even = Color::new(0);
-    let east_odd = Color::new(1);
-    let wrap = Color::new(2);
+    let colors = RingColors::default();
     let mut plan = CollectivePlan::new(
         format!("allreduce-1d-Ring-p{p}-b{vector_len}"),
         dim,
         Coord::new(0, 0),
         vector_len,
     );
-
-    let send_color = |x: u32| {
-        if x == p - 1 {
-            wrap
-        } else if x.is_multiple_of(2) {
-            east_even
-        } else {
-            east_odd
-        }
-    };
-    let recv_color = |x: u32| if x == 0 { wrap } else { send_color(x - 1) };
-
-    // Static routing: every PE forwards its own stream to its ring successor
-    // and delivers its predecessor's stream to the processor; the wrap-around
-    // stream from the last PE travels westwards across the whole row.
+    // The ring is the composition of the shared phase builders: static ring
+    // routes, p - 1 reduce-scatter rounds and p - 1 all-gather rounds that
+    // pick up at the chunk the reduce-scatter finished (base 1). The phase
+    // module's golden test pins this to the pre-refactor emission byte for
+    // byte.
+    append_ring_routes(&mut plan, p, &colors);
+    append_reduce_scatter_rounds(&mut plan, p, chunk, op, &colors);
+    append_allgather_rounds(&mut plan, p, chunk, &colors, 1);
     for x in 0..p {
         let at = Coord::new(x, 0);
-        if x < p - 1 {
-            plan.push_rule(
-                at,
-                send_color(x),
-                RouteRule::forever(Direction::Ramp, DirectionSet::single(Direction::East)),
-            );
-        } else {
-            plan.push_rule(
-                at,
-                wrap,
-                RouteRule::forever(Direction::Ramp, DirectionSet::single(Direction::West)),
-            );
-        }
-        if x > 0 {
-            plan.push_rule(
-                at,
-                recv_color(x),
-                RouteRule::forever(Direction::West, DirectionSet::single(Direction::Ramp)),
-            );
-        } else {
-            plan.push_rule(
-                at,
-                wrap,
-                RouteRule::forever(Direction::East, DirectionSet::single(Direction::Ramp)),
-            );
-        }
-        // Intermediate PEs pass the wrap-around stream through.
-        if x > 0 && x < p - 1 {
-            plan.push_rule(
-                at,
-                wrap,
-                RouteRule::forever(Direction::East, DirectionSet::single(Direction::West)),
-            );
-        }
-    }
-
-    // Programs: p - 1 rounds of reduce-scatter, then p - 1 rounds of
-    // all-gather, each exchanging one chunk with the ring neighbours.
-    for x in 0..p {
-        let at = Coord::new(x, 0);
-        let sc = send_color(x);
-        let rc = recv_color(x);
-        let my = x as i64;
-        let pp = p as i64;
-        let chunk_index = |v: i64| (v.rem_euclid(pp)) as u32;
-        let program = plan.program_mut(at);
-        for r in 0..p as i64 - 1 {
-            let send_chunk = chunk_index(my - r);
-            let recv_chunk = chunk_index(my - r - 1);
-            program.exchange(
-                sc,
-                send_chunk * chunk,
-                rc,
-                recv_chunk * chunk,
-                chunk,
-                RecvMode::Reduce(op),
-            );
-        }
-        for r in 0..p as i64 - 1 {
-            let send_chunk = chunk_index(my + 1 - r);
-            let recv_chunk = chunk_index(my - r);
-            program.exchange(
-                sc,
-                send_chunk * chunk,
-                rc,
-                recv_chunk * chunk,
-                chunk,
-                RecvMode::Store,
-            );
-        }
         plan.add_data_pe(at);
         plan.add_result_pe(at);
     }

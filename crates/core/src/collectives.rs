@@ -1,0 +1,562 @@
+//! Plan builders for the inference collective suite: ReduceScatter,
+//! AllGather, Gather, Scatter and All-to-All on a 1D line.
+//!
+//! All five are assembled from the shared phase builders of
+//! [`crate::phases`] (plus plain counted line streams for the rooted pair)
+//! and share one memory layout: vectors of `B = vector_len` elements split
+//! into `p` chunks of `B / p`, with **shard `i` at local offset
+//! `i * chunk`** on every PE. That uniform *shard-at-index* contract is what
+//! lets the kinds chain without host-side reshuffling — a ReduceScatter's
+//! outputs are valid AllGather inputs as-is, and `Scatter → compute →
+//! ReduceScatter → AllGather` forms the WaferLLM-style layer pipeline of
+//! `examples/mlp_layer.rs`.
+//!
+//! Per-kind I/O shape contracts (enforced end to end through
+//! [`CollectivePlan::input_specs`]/[`CollectivePlan::output_specs`]):
+//!
+//! | kind          | input per PE `x`     | output per PE `x`              |
+//! |---------------|----------------------|--------------------------------|
+//! | ReduceScatter | `B` at offset 0      | chunk at `x * chunk`           |
+//! | AllGather     | chunk at `x * chunk` | `B` at offset 0                |
+//! | Gather        | chunk at `x * chunk` | root only: `B` at offset 0     |
+//! | Scatter       | root only: `B` at 0  | chunk at `x * chunk`           |
+//! | AllToAll      | `B` at offset 0      | `B` at offset 0                |
+//!
+//! # Panics
+//!
+//! Every builder panics when `p < 2` or `vector_len` is not divisible by
+//! `p`, mirroring [`crate::allreduce::ring_allreduce_plan`]; the request
+//! API rejects the same shapes with a typed
+//! [`crate::error::CollectiveError::InvalidRequest`] before reaching these
+//! builders.
+
+use wse_fabric::geometry::{Coord, Direction, DirectionSet, GridDim};
+use wse_fabric::program::{RecvMode, ReduceOp};
+use wse_fabric::router::RouteRule;
+use wse_fabric::wavelet::Color;
+
+use crate::phases::{
+    append_allgather_rounds, append_reduce_scatter_rounds, append_ring_rotation,
+    append_ring_routes, chunk_index, RingColors,
+};
+use crate::plan::CollectivePlan;
+
+/// Validate the line shape shared by every suite builder and return the
+/// chunk size `vector_len / p`.
+fn checked_chunk(kind: &str, p: u32, vector_len: u32) -> u32 {
+    assert!(p >= 2, "{kind} needs at least two PEs");
+    assert_eq!(
+        vector_len % p,
+        0,
+        "{kind} requires the vector length to be divisible by the PE count"
+    );
+    vector_len / p
+}
+
+/// Build a ring ReduceScatter plan on a row of `p` PEs: every PE
+/// contributes a full `vector_len` vector and ends up with the fully
+/// reduced shard `x` (chunk `x` of the element-wise reduction) at offset
+/// `x * chunk`.
+///
+/// The `p - 1` reduce-scatter rounds are the exact first half of the Ring
+/// AllReduce (§6.2) — same ring, same accumulation order, so the shards
+/// are bit-identical to the corresponding chunks of a Ring AllReduce — and
+/// one extra Store rotation moves the finished chunk from PE
+/// `(x - 1) mod p` onto its home PE `x`.
+pub fn reduce_scatter_ring_plan(p: u32, vector_len: u32, op: ReduceOp) -> CollectivePlan {
+    let chunk = checked_chunk("the ring reduce-scatter", p, vector_len);
+    let colors = RingColors::default();
+    let mut plan = CollectivePlan::new(
+        format!("reduce-scatter-1d-Ring-p{p}-b{vector_len}"),
+        GridDim::row(p),
+        Coord::new(0, 0),
+        vector_len,
+    );
+    append_ring_routes(&mut plan, p, &colors);
+    append_reduce_scatter_rounds(&mut plan, p, chunk, op, &colors);
+    // After the reduce-scatter rounds PE x holds the finished chunk
+    // (x + 1) mod p; the first all-gather rotation (base 1, Store) delivers
+    // chunk x to PE x, establishing the shard-at-index contract.
+    append_ring_rotation(&mut plan, p, chunk, &colors, 1, 0, RecvMode::Store);
+    for x in 0..p {
+        let at = Coord::new(x, 0);
+        plan.add_data_pe(at);
+        plan.add_result_pe_slice(at, x * chunk, chunk);
+    }
+    plan
+}
+
+/// Build a ring AllGather plan on a row of `p` PEs: every PE contributes
+/// its shard `x` (one chunk at offset `x * chunk`) and ends up with the
+/// full concatenated vector.
+///
+/// This is the all-gather half of the Ring AllReduce (§6.2) anchored at
+/// base 0: each PE starts by circulating its own shard.
+pub fn allgather_ring_plan(p: u32, vector_len: u32) -> CollectivePlan {
+    let chunk = checked_chunk("the ring all-gather", p, vector_len);
+    let colors = RingColors::default();
+    let mut plan = CollectivePlan::new(
+        format!("allgather-1d-Ring-p{p}-b{vector_len}"),
+        GridDim::row(p),
+        Coord::new(0, 0),
+        vector_len,
+    );
+    append_ring_routes(&mut plan, p, &colors);
+    append_allgather_rounds(&mut plan, p, chunk, &colors, 0);
+    for x in 0..p {
+        let at = Coord::new(x, 0);
+        plan.add_data_pe_slice(at, x * chunk, chunk);
+        plan.add_result_pe(at);
+    }
+    plan
+}
+
+/// Build a line Gather plan on a row of `p` PEs rooted at `(0, 0)`: every
+/// PE contributes its shard `x` and the root ends up with the full
+/// concatenated vector.
+///
+/// Shards stream westwards on a single color, pipelined hop by hop: each
+/// PE first injects its own shard, then forwards everything arriving from
+/// the east, so the root receives shards `1..p` in index order directly
+/// behind one another (`(p - 1) * chunk + P + 2 T_R` cycles, the counting
+/// bound of §5 up to the chunk the root already owns).
+pub fn gather_line_plan(p: u32, vector_len: u32) -> CollectivePlan {
+    let chunk = checked_chunk("the line gather", p, vector_len);
+    let color = Color::new(0);
+    let root = Coord::new(0, 0);
+    let mut plan = CollectivePlan::new(
+        format!("gather-1d-Line-p{p}-b{vector_len}"),
+        GridDim::row(p),
+        root,
+        vector_len,
+    );
+    // Root: consume shards 1..p into their home offsets.
+    plan.push_rule(
+        root,
+        color,
+        RouteRule::counted(
+            Direction::East,
+            DirectionSet::single(Direction::Ramp),
+            (p as u64 - 1) * chunk as u64,
+        ),
+    );
+    plan.program_mut(root).recv_store(color, chunk, (p - 1) * chunk);
+    // Every other PE: inject the local shard first, then pass the eastern
+    // shards through (westwards), which sequences arrivals by PE index.
+    for m in 1..p {
+        let at = Coord::new(m, 0);
+        plan.push_rule(
+            at,
+            color,
+            RouteRule::counted(
+                Direction::Ramp,
+                DirectionSet::single(Direction::West),
+                chunk as u64,
+            ),
+        );
+        if m < p - 1 {
+            plan.push_rule(
+                at,
+                color,
+                RouteRule::counted(
+                    Direction::East,
+                    DirectionSet::single(Direction::West),
+                    (p - 1 - m) as u64 * chunk as u64,
+                ),
+            );
+        }
+        plan.program_mut(at).send(color, m * chunk, chunk);
+    }
+    for x in 0..p {
+        plan.add_data_pe_slice(Coord::new(x, 0), x * chunk, chunk);
+    }
+    plan.add_result_pe(root);
+    plan
+}
+
+/// Build a line Scatter plan on a row of `p` PEs rooted at `(0, 0)`: the
+/// root contributes the full vector and every PE ends up with its shard
+/// `x` at offset `x * chunk`.
+///
+/// The mirror image of [`gather_line_plan`]: the root streams shards
+/// `1..p` eastwards in index order on one color; each PE peels off the
+/// first chunk that reaches it and forwards the rest.
+pub fn scatter_line_plan(p: u32, vector_len: u32) -> CollectivePlan {
+    let chunk = checked_chunk("the line scatter", p, vector_len);
+    let color = Color::new(0);
+    let root = Coord::new(0, 0);
+    let mut plan = CollectivePlan::new(
+        format!("scatter-1d-Line-p{p}-b{vector_len}"),
+        GridDim::row(p),
+        root,
+        vector_len,
+    );
+    plan.push_rule(
+        root,
+        color,
+        RouteRule::counted(
+            Direction::Ramp,
+            DirectionSet::single(Direction::East),
+            (p as u64 - 1) * chunk as u64,
+        ),
+    );
+    plan.program_mut(root).send(color, chunk, (p - 1) * chunk);
+    for m in 1..p {
+        let at = Coord::new(m, 0);
+        // The first chunk arriving from the west is shard m (shards
+        // 1..m were peeled off upstream); everything after it passes on.
+        plan.push_rule(
+            at,
+            color,
+            RouteRule::counted(
+                Direction::West,
+                DirectionSet::single(Direction::Ramp),
+                chunk as u64,
+            ),
+        );
+        if m < p - 1 {
+            plan.push_rule(
+                at,
+                color,
+                RouteRule::counted(
+                    Direction::West,
+                    DirectionSet::single(Direction::East),
+                    (p - 1 - m) as u64 * chunk as u64,
+                ),
+            );
+        }
+        plan.program_mut(at).recv_store(color, m * chunk, chunk);
+    }
+    plan.add_data_pe(root);
+    for x in 0..p {
+        plan.add_result_pe_slice(Coord::new(x, 0), x * chunk, chunk);
+    }
+    plan
+}
+
+/// Build a rotation All-to-All plan on a row of `p` PEs: every PE
+/// contributes a full vector whose chunk `d` is destined to PE `d`, and
+/// ends up with the full vector whose chunk `s` came from PE `s`.
+///
+/// Store-and-forward rotation on the ring routes of
+/// [`append_ring_routes`]: in each of `p - 1` phases every chunk still in
+/// flight moves one hop towards its destination. Phase `k` exchanges
+/// `p - k` chunks per PE, ordered by descending remaining distance, so the
+/// *last* chunk received in a phase is always the one that just arrived
+/// (from source `(x - k) mod p`, stored straight into its home offset)
+/// while the rest land in one of two alternating transit buffers above the
+/// vector region. Total traffic is `p (p - 1) / 2` chunks per link — the
+/// ring pays roughly twice the bisection bound in exchange for using only
+/// nearest-neighbour links and three colors.
+///
+/// `p = 2` degenerates to an in-place pairwise exchange, built from
+/// element-wise sends/receives with a lookahead window instead (a
+/// full-duplex [`wse_fabric::program::Instruction::Exchange`] with equal
+/// send and receive offsets could overwrite elements that have not been
+/// sent yet when thermal noise stalls one side's sends while its receives
+/// keep draining).
+pub fn all_to_all_rotate_plan(p: u32, vector_len: u32) -> CollectivePlan {
+    let chunk = checked_chunk("the rotation all-to-all", p, vector_len);
+    if p == 2 {
+        return all_to_all_pair_plan(vector_len);
+    }
+    let colors = RingColors::default();
+    let mut plan = CollectivePlan::new(
+        format!("all-to-all-1d-Rotate-p{p}-b{vector_len}"),
+        GridDim::row(p),
+        Coord::new(0, 0),
+        vector_len,
+    );
+    append_ring_routes(&mut plan, p, &colors);
+    let transit = |buf: u32, slot: u32| vector_len + buf * (p - 2) * chunk + slot * chunk;
+    for x in 0..p {
+        let at = Coord::new(x, 0);
+        let sc = colors.send_color(x, p);
+        let rc = colors.recv_color(x, p);
+        let my = x as i64;
+        let program = plan.program_mut(at);
+        // Phase 1: the p - 1 outgoing chunks leave the input region in
+        // descending remaining distance, i.e. destinations x-1, x-2, ..,
+        // x+1 (mod p). The last chunk received is the predecessor's
+        // shortest-distance chunk — destined here, stored at its source's
+        // home offset; the first p - 2 go to transit buffer 0 in order.
+        for j in 0..p - 1 {
+            let send_off = chunk_index(my - 1 - j as i64, p) * chunk;
+            let recv_off = if j < p - 2 { transit(0, j) } else { chunk_index(my - 1, p) * chunk };
+            program.exchange(sc, send_off, rc, recv_off, chunk, RecvMode::Store);
+        }
+        // Phases 2..p-1: forward the previous phase's transit chunks (their
+        // arrival order already is descending remaining distance); again
+        // the last received chunk has arrived — its source is (x - k) mod p
+        // — and the rest fill the other transit buffer. Reading one buffer
+        // while receiving into the other keeps every exchange's send and
+        // receive regions disjoint.
+        for k in 2..p {
+            let prev = k % 2;
+            let cur = 1 - prev;
+            for j in 0..p - k {
+                let send_off = transit(prev, j);
+                let recv_off = if j < p - k - 1 {
+                    transit(cur, j)
+                } else {
+                    chunk_index(my - k as i64, p) * chunk
+                };
+                program.exchange(sc, send_off, rc, recv_off, chunk, RecvMode::Store);
+            }
+        }
+        plan.add_data_pe(at);
+        plan.add_result_pe(at);
+    }
+    plan
+}
+
+/// The `p = 2` All-to-All: the two PEs swap their peer-destined chunks in
+/// place, element by element with a lookahead window of two. Element `i` of
+/// the outgoing chunk is overwritten by the incoming one only after
+/// elements `i` and `i + 1` have been sent (program order), so no data can
+/// be clobbered before it leaves; and since at most two wavelets per
+/// direction are outstanding at any time — well under the ramp capacity —
+/// the pair cannot deadlock.
+fn all_to_all_pair_plan(vector_len: u32) -> CollectivePlan {
+    let chunk = vector_len / 2;
+    let east = Color::new(0);
+    let west = Color::new(1);
+    let mut plan = CollectivePlan::new(
+        format!("all-to-all-1d-Rotate-p2-b{vector_len}"),
+        GridDim::row(2),
+        Coord::new(0, 0),
+        vector_len,
+    );
+    let pe0 = Coord::new(0, 0);
+    let pe1 = Coord::new(1, 0);
+    plan.push_rule(
+        pe0,
+        east,
+        RouteRule::forever(Direction::Ramp, DirectionSet::single(Direction::East)),
+    );
+    plan.push_rule(
+        pe1,
+        east,
+        RouteRule::forever(Direction::West, DirectionSet::single(Direction::Ramp)),
+    );
+    plan.push_rule(
+        pe1,
+        west,
+        RouteRule::forever(Direction::Ramp, DirectionSet::single(Direction::West)),
+    );
+    plan.push_rule(
+        pe0,
+        west,
+        RouteRule::forever(Direction::East, DirectionSet::single(Direction::Ramp)),
+    );
+    for x in 0..2u32 {
+        let at = Coord::new(x, 0);
+        let (sc, rc) = if x == 0 { (east, west) } else { (west, east) };
+        let off = (1 - x) * chunk;
+        let program = plan.program_mut(at);
+        if chunk == 1 {
+            program.send(sc, off, 1);
+            program.recv_store(rc, off, 1);
+        } else {
+            program.send(sc, off, 1);
+            program.send(sc, off + 1, 1);
+            for i in 0..chunk - 2 {
+                program.recv_store(rc, off + i, 1);
+                program.send(sc, off + i + 2, 1);
+            }
+            program.recv_store(rc, off + chunk - 2, 1);
+            program.recv_store(rc, off + chunk - 1, 1);
+        }
+        plan.add_data_pe(at);
+        plan.add_result_pe(at);
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allreduce::ring_allreduce_plan;
+    use crate::runner::{run_plan, RunConfig};
+    use wse_fabric::{EngineKind, NoiseModel};
+
+    fn inputs(p: usize, b: usize) -> Vec<Vec<f32>> {
+        (0..p).map(|i| (0..b).map(|j| ((i * b + j) % 23) as f32 * 0.25 - 1.5).collect()).collect()
+    }
+
+    /// The reference All-to-All: output of PE x holds, at offset s*chunk,
+    /// the chunk of PE s's input destined to x.
+    fn expected_all_to_all(data: &[Vec<f32>], chunk: usize) -> Vec<Vec<f32>> {
+        let p = data.len();
+        (0..p)
+            .map(|x| {
+                (0..p).flat_map(|s| data[s][x * chunk..(x + 1) * chunk].iter().copied()).collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn reduce_scatter_emits_bit_identical_allreduce_shards() {
+        for (p, b) in [(2u32, 8u32), (4, 16), (5, 20), (8, 32)] {
+            let chunk = (b / p) as usize;
+            let data = inputs(p as usize, b as usize);
+            let rs = run_plan(
+                &reduce_scatter_ring_plan(p, b, ReduceOp::Sum),
+                &data,
+                &RunConfig::default(),
+            )
+            .unwrap_or_else(|e| panic!("reduce-scatter p={p} b={b}: {e}"));
+            let ar =
+                run_plan(&ring_allreduce_plan(p, b, ReduceOp::Sum), &data, &RunConfig::default())
+                    .unwrap();
+            assert_eq!(rs.outputs.len(), p as usize);
+            for (x, (at, shard)) in rs.outputs.iter().enumerate() {
+                assert_eq!(*at, Coord::new(x as u32, 0));
+                assert_eq!(shard.len(), chunk);
+                // Same ring, same accumulation order: the shard must be
+                // bit-identical to the AllReduce's chunk x, not merely close.
+                let full = &ar.outputs[x].1;
+                assert_eq!(
+                    shard.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    full[x * chunk..(x + 1) * chunk]
+                        .iter()
+                        .map(|v| v.to_bits())
+                        .collect::<Vec<_>>(),
+                    "p={p} b={b} shard {x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_concatenates_shards_everywhere() {
+        for (p, b) in [(2u32, 6u32), (3, 12), (6, 24)] {
+            let chunk = (b / p) as usize;
+            let full = inputs(1, b as usize).remove(0);
+            let shards: Vec<Vec<f32>> =
+                (0..p as usize).map(|x| full[x * chunk..(x + 1) * chunk].to_vec()).collect();
+            let outcome = run_plan(&allgather_ring_plan(p, b), &shards, &RunConfig::default())
+                .unwrap_or_else(|e| panic!("allgather p={p} b={b}: {e}"));
+            assert_eq!(outcome.outputs.len(), p as usize);
+            for (_, out) in &outcome.outputs {
+                assert_eq!(out, &full);
+            }
+        }
+    }
+
+    #[test]
+    fn gather_collects_shards_at_the_root_in_index_order() {
+        for (p, b) in [(2u32, 4u32), (4, 16), (7, 21)] {
+            let chunk = (b / p) as usize;
+            let full = inputs(1, b as usize).remove(0);
+            let shards: Vec<Vec<f32>> =
+                (0..p as usize).map(|x| full[x * chunk..(x + 1) * chunk].to_vec()).collect();
+            let outcome = run_plan(&gather_line_plan(p, b), &shards, &RunConfig::default())
+                .unwrap_or_else(|e| panic!("gather p={p} b={b}: {e}"));
+            assert_eq!(outcome.outputs.len(), 1);
+            assert_eq!(outcome.outputs[0].0, Coord::new(0, 0));
+            assert_eq!(outcome.outputs[0].1, full);
+        }
+    }
+
+    #[test]
+    fn scatter_distributes_shards_and_inverts_gather() {
+        for (p, b) in [(2u32, 4u32), (4, 16), (7, 21)] {
+            let chunk = (b / p) as usize;
+            let full = inputs(1, b as usize).remove(0);
+            let outcome = run_plan(
+                &scatter_line_plan(p, b),
+                std::slice::from_ref(&full),
+                &RunConfig::default(),
+            )
+            .unwrap_or_else(|e| panic!("scatter p={p} b={b}: {e}"));
+            assert_eq!(outcome.outputs.len(), p as usize);
+            for (x, (at, shard)) in outcome.outputs.iter().enumerate() {
+                assert_eq!(*at, Coord::new(x as u32, 0));
+                assert_eq!(shard, &full[x * chunk..(x + 1) * chunk]);
+            }
+            // Scatter's outputs are valid Gather inputs as-is (the shared
+            // shard-at-index contract); the roundtrip recovers the vector.
+            let shards: Vec<Vec<f32>> =
+                outcome.outputs.into_iter().map(|(_, shard)| shard).collect();
+            let back = run_plan(&gather_line_plan(p, b), &shards, &RunConfig::default()).unwrap();
+            assert_eq!(back.outputs[0].1, full);
+        }
+    }
+
+    #[test]
+    fn all_to_all_transposes_chunks() {
+        for (p, b) in [(2u32, 8u32), (3, 9), (4, 16), (5, 40), (8, 32)] {
+            let chunk = (b / p) as usize;
+            let data = inputs(p as usize, b as usize);
+            let expected = expected_all_to_all(&data, chunk);
+            let outcome = run_plan(&all_to_all_rotate_plan(p, b), &data, &RunConfig::default())
+                .unwrap_or_else(|e| panic!("all-to-all p={p} b={b}: {e}"));
+            assert_eq!(outcome.outputs.len(), p as usize);
+            for (x, (at, out)) in outcome.outputs.iter().enumerate() {
+                assert_eq!(*at, Coord::new(x as u32, 0));
+                assert_eq!(out, &expected[x], "p={p} b={b} PE {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_to_all_survives_thermal_noise_on_both_engines() {
+        // The pairwise (p = 2) exchange overwrites its outgoing chunk in
+        // place; noise-staggered stalls must never let a receive clobber an
+        // unsent element, on either engine.
+        for p in [2u32, 4] {
+            let b = 8 * p;
+            let chunk = (b / p) as usize;
+            let data = inputs(p as usize, b as usize);
+            let expected = expected_all_to_all(&data, chunk);
+            for engine in [EngineKind::Fast, EngineKind::Reference] {
+                for seed in 0..4u64 {
+                    let mut config = RunConfig::default().with_engine(engine);
+                    config.noise = Some(NoiseModel::new(0.05, seed));
+                    let outcome = run_plan(&all_to_all_rotate_plan(p, b), &data, &config)
+                        .unwrap_or_else(|e| panic!("p={p} seed={seed}: {e}"));
+                    for (x, (_, out)) in outcome.outputs.iter().enumerate() {
+                        assert_eq!(out, &expected[x], "p={p} seed={seed} PE {x}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn suite_shape_contracts_are_declared() {
+        let (p, b) = (4u32, 16u32);
+        let chunk = b / p;
+        let rs = reduce_scatter_ring_plan(p, b, ReduceOp::Sum);
+        assert!(rs.input_specs().iter().all(|&s| s == (0, b)));
+        assert_eq!(
+            rs.output_specs(),
+            (0..p).map(|x| (x * chunk, chunk)).collect::<Vec<_>>().as_slice()
+        );
+        let ag = allgather_ring_plan(p, b);
+        assert_eq!(
+            ag.input_specs(),
+            (0..p).map(|x| (x * chunk, chunk)).collect::<Vec<_>>().as_slice()
+        );
+        assert!(ag.output_specs().iter().all(|&s| s == (0, b)));
+        let gather = gather_line_plan(p, b);
+        assert_eq!(gather.result_pes(), &[Coord::new(0, 0)]);
+        assert_eq!(gather.output_specs(), &[(0, b)]);
+        let scatter = scatter_line_plan(p, b);
+        assert_eq!(scatter.data_pes(), &[Coord::new(0, 0)]);
+        assert_eq!(scatter.input_specs(), &[(0, b)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn suite_rejects_indivisible_vectors() {
+        let _ = all_to_all_rotate_plan(3, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn suite_rejects_single_pe_lines() {
+        let _ = reduce_scatter_ring_plan(1, 8, ReduceOp::Sum);
+    }
+}

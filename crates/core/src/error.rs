@@ -54,6 +54,14 @@ pub enum CollectiveError {
         /// What was wrong with the request.
         reason: String,
     },
+    /// A root PE was specified for a collective that has no root — every
+    /// participant of an AllReduce, ReduceScatter, AllGather or All-to-All
+    /// plays the same role, so `with_root` on these kinds is a programming
+    /// error rather than a silently ignored hint.
+    RootlessCollective {
+        /// The rootless collective the root was offered to.
+        kind: CollectiveKind,
+    },
     /// The number of input vectors does not match the plan's data PEs.
     InputCountMismatch {
         /// Data PEs of the plan.
@@ -115,6 +123,9 @@ impl std::fmt::Display for CollectiveError {
             CollectiveError::InvalidRequest { reason } => {
                 write!(f, "invalid collective request: {reason}")
             }
+            CollectiveError::RootlessCollective { kind } => {
+                write!(f, "{kind:?} has no root PE; with_root only applies to rooted collectives")
+            }
             CollectiveError::InputCountMismatch { expected, got } => {
                 write!(f, "plan requires {expected} input vectors, got {got}")
             }
@@ -172,6 +183,9 @@ mod tests {
         let e = CollectiveError::QueueFull { capacity: 128 };
         assert!(e.to_string().contains("128 requests"));
         assert!(CollectiveError::ServiceStopped.to_string().contains("shut down"));
+        let e = CollectiveError::RootlessCollective { kind: CollectiveKind::AllReduce };
+        assert!(e.to_string().contains("AllReduce"));
+        assert!(e.to_string().contains("no root"));
     }
 
     #[test]

@@ -69,8 +69,13 @@
 //!   Tree (§5.3), Two-Phase (§5.4) and the model-generated Auto-Gen schedule
 //!   (§5.5), all compiled through a single reduction-tree-to-plan code
 //!   generator ([`reduce`], [`tree_plan`]).
-//! * **1D AllReduce** — Reduce-then-Broadcast (§6.1) and the Ring (§6.2)
+//! * **1D AllReduce** — Reduce-then-Broadcast (§6.1) and the Ring (§6.2),
+//!   built from the composable phase builders of [`phases`]
 //!   ([`allreduce`]).
+//! * **The inference collective suite** — ReduceScatter, AllGather, Gather,
+//!   Scatter and All-to-All as first-class request kinds with per-kind I/O
+//!   shape contracts, assembled from the same phase builders
+//!   ([`collectives`]; see the table in [`request`]).
 //! * **2D collectives** — the 2D flooding broadcast (§7.1), X-Y Reduce
 //!   (§7.2), Snake Reduce (§7.3) and 2D AllReduce (§7.4).
 //! * **Model-driven selection** — [`Schedule::Auto`] resolves through the
@@ -88,10 +93,12 @@
 pub mod allreduce;
 pub mod broadcast;
 mod cache;
+pub mod collectives;
 pub mod error;
 pub mod executor;
 pub mod measured;
 pub mod path;
+pub mod phases;
 pub mod plan;
 pub mod reduce;
 pub mod request;
@@ -106,6 +113,10 @@ pub use allreduce::{
     AllReducePattern,
 };
 pub use broadcast::{flood_broadcast_2d_plan, flood_broadcast_plan};
+pub use collectives::{
+    all_to_all_rotate_plan, allgather_ring_plan, gather_line_plan, reduce_scatter_ring_plan,
+    scatter_line_plan,
+};
 pub use error::CollectiveError;
 pub use executor::{BatchItem, Executor, ExecutorConfig, ExecutorStats};
 pub use measured::{measured_run, MeasureConfig, MeasuredRun};
@@ -130,6 +141,10 @@ pub use wse_fabric::EngineKind;
 pub mod prelude {
     pub use crate::allreduce::{allreduce_1d_plan, allreduce_2d_plan, AllReducePattern};
     pub use crate::broadcast::{flood_broadcast_2d_plan, flood_broadcast_plan};
+    pub use crate::collectives::{
+        all_to_all_rotate_plan, allgather_ring_plan, gather_line_plan, reduce_scatter_ring_plan,
+        scatter_line_plan,
+    };
     pub use crate::error::CollectiveError;
     pub use crate::executor::{BatchItem, Executor, ExecutorConfig, ExecutorStats};
     pub use crate::path::LinePath;

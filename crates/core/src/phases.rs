@@ -1,0 +1,346 @@
+//! Composable plan phases: the reusable building blocks collectives are
+//! assembled from.
+//!
+//! The paper's collectives decompose into a small set of recurring phases:
+//! the ring's reduce-scatter and all-gather rounds (§6.2), single ring
+//! rotations (one full-duplex neighbour exchange of every PE with its ring
+//! successor), and the flooding broadcast (§4.2/§7.1). Historically those
+//! phases were private emission loops inside `allreduce.rs`; this module
+//! makes them first-class so [`crate::allreduce::ring_allreduce_plan`] and
+//! every collective of [`crate::collectives`] are built from the same
+//! audited pieces.
+//!
+//! All ring phases target a row of `p` PEs (a 1D line) whose logical ring
+//! successor of PE `x` is PE `(x + 1) mod p`: ordinary streams travel one
+//! hop eastwards while the wrap-around stream of the last PE travels
+//! westwards across the whole row ([`append_ring_routes`]). Vectors are
+//! split into `p` chunks of `vector_len / p` elements; chunk `i` lives at
+//! local offset `i * chunk` on every PE (the *shard-at-index* layout shared
+//! by every collective built on these phases).
+
+use wse_fabric::geometry::{Coord, Direction, DirectionSet};
+use wse_fabric::program::{RecvMode, ReduceOp};
+use wse_fabric::router::RouteRule;
+use wse_fabric::wavelet::Color;
+
+pub use crate::broadcast::{append_flood_broadcast, append_flood_broadcast_2d};
+
+use crate::plan::CollectivePlan;
+
+/// The three colors a ring phase occupies on a row of PEs.
+///
+/// Neighbouring PEs must talk on different colors (a router accepts each
+/// color from a single direction at a time), so eastward streams alternate
+/// between two colors by sender parity while the wrap-around stream from
+/// the last PE back to PE 0 uses a third.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingColors {
+    /// Color of eastward streams sent by even-indexed PEs.
+    pub east_even: Color,
+    /// Color of eastward streams sent by odd-indexed PEs.
+    pub east_odd: Color,
+    /// Color of the wrap-around stream (last PE westwards to PE 0).
+    pub wrap: Color,
+}
+
+impl Default for RingColors {
+    fn default() -> Self {
+        RingColors { east_even: Color::new(0), east_odd: Color::new(1), wrap: Color::new(2) }
+    }
+}
+
+impl RingColors {
+    /// The color PE `x` sends on (towards its ring successor).
+    pub fn send_color(&self, x: u32, p: u32) -> Color {
+        if x == p - 1 {
+            self.wrap
+        } else if x.is_multiple_of(2) {
+            self.east_even
+        } else {
+            self.east_odd
+        }
+    }
+
+    /// The color PE `x` receives on (from its ring predecessor).
+    pub fn recv_color(&self, x: u32, p: u32) -> Color {
+        if x == 0 {
+            self.wrap
+        } else {
+            self.send_color(x - 1, p)
+        }
+    }
+}
+
+/// Append the static ring routing for a row of `p` PEs: every PE forwards
+/// its own stream to its ring successor and delivers its predecessor's
+/// stream to the processor; the wrap-around stream from the last PE travels
+/// westwards across the whole row.
+///
+/// The rules are `forever` rules, so any number of ring phases (rotations,
+/// reduce-scatter or all-gather rounds) can share one set of routes.
+pub fn append_ring_routes(plan: &mut CollectivePlan, p: u32, colors: &RingColors) {
+    assert!(p >= 2, "a ring needs at least two PEs");
+    for x in 0..p {
+        let at = Coord::new(x, 0);
+        if x < p - 1 {
+            plan.push_rule(
+                at,
+                colors.send_color(x, p),
+                RouteRule::forever(Direction::Ramp, DirectionSet::single(Direction::East)),
+            );
+        } else {
+            plan.push_rule(
+                at,
+                colors.wrap,
+                RouteRule::forever(Direction::Ramp, DirectionSet::single(Direction::West)),
+            );
+        }
+        if x > 0 {
+            plan.push_rule(
+                at,
+                colors.recv_color(x, p),
+                RouteRule::forever(Direction::West, DirectionSet::single(Direction::Ramp)),
+            );
+        } else {
+            plan.push_rule(
+                at,
+                colors.wrap,
+                RouteRule::forever(Direction::East, DirectionSet::single(Direction::Ramp)),
+            );
+        }
+        // Intermediate PEs pass the wrap-around stream through.
+        if x > 0 && x < p - 1 {
+            plan.push_rule(
+                at,
+                colors.wrap,
+                RouteRule::forever(Direction::East, DirectionSet::single(Direction::West)),
+            );
+        }
+    }
+}
+
+/// Chunk index `v` reduced into `0..p` (ring arithmetic).
+pub(crate) fn chunk_index(v: i64, p: u32) -> u32 {
+    v.rem_euclid(p as i64) as u32
+}
+
+/// Append one ring rotation: every PE `x` exchanges a full chunk with its
+/// ring neighbours — it sends chunk `(x + base - round) mod p` to its
+/// successor while receiving chunk `(x + base - round - 1) mod p` from its
+/// predecessor, combining according to `mode`.
+///
+/// `base` anchors which chunk circulates: round `r` of the reduce-scatter
+/// phase is `base = 0`, round `r` of the all-gather phase that follows a
+/// reduce-scatter is `base = 1` (each PE then holds the finished chunk
+/// `(x + 1) mod p` and starts circulating it). Requires the routes of
+/// [`append_ring_routes`] (same `colors`) on the plan.
+pub fn append_ring_rotation(
+    plan: &mut CollectivePlan,
+    p: u32,
+    chunk: u32,
+    colors: &RingColors,
+    base: i64,
+    round: i64,
+    mode: RecvMode,
+) {
+    for x in 0..p {
+        let at = Coord::new(x, 0);
+        let my = x as i64;
+        let send_chunk = chunk_index(my + base - round, p);
+        let recv_chunk = chunk_index(my + base - round - 1, p);
+        plan.program_mut(at).exchange(
+            colors.send_color(x, p),
+            send_chunk * chunk,
+            colors.recv_color(x, p),
+            recv_chunk * chunk,
+            chunk,
+            mode,
+        );
+    }
+}
+
+/// Append the `p - 1` reduce-scatter rounds of §6.2: after them, PE `x`
+/// holds the fully reduced chunk `(x + 1) mod p` (accumulated in ring
+/// order, i.e. left-to-right starting from PE `(x + 2) mod p`'s
+/// contribution... the order is fixed by the ring, which is what makes a
+/// standalone ReduceScatter bit-identical to the first half of the Ring
+/// AllReduce).
+pub fn append_reduce_scatter_rounds(
+    plan: &mut CollectivePlan,
+    p: u32,
+    chunk: u32,
+    op: ReduceOp,
+    colors: &RingColors,
+) {
+    for r in 0..p as i64 - 1 {
+        append_ring_rotation(plan, p, chunk, colors, 0, r, RecvMode::Reduce(op));
+    }
+}
+
+/// Append the `p - 1` all-gather rounds of §6.2: each PE circulates its
+/// chunk around the ring, storing every chunk it sees. `base` names the
+/// chunk PE `x` holds at the start: `base = 1` after the reduce-scatter
+/// rounds (PE `x` finished chunk `(x + 1) mod p`), `base = 0` for a
+/// standalone AllGather whose PE `x` starts with its own shard `x`.
+pub fn append_allgather_rounds(
+    plan: &mut CollectivePlan,
+    p: u32,
+    chunk: u32,
+    colors: &RingColors,
+    base: i64,
+) {
+    for r in 0..p as i64 - 1 {
+        append_ring_rotation(plan, p, chunk, colors, base, r, RecvMode::Store);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wse_fabric::geometry::GridDim;
+    use wse_fabric::program::Instruction;
+
+    #[test]
+    fn ring_colors_alternate_and_wrap() {
+        let c = RingColors::default();
+        let p = 5;
+        assert_eq!(c.send_color(0, p), c.east_even);
+        assert_eq!(c.send_color(1, p), c.east_odd);
+        assert_eq!(c.send_color(2, p), c.east_even);
+        assert_eq!(c.send_color(4, p), c.wrap);
+        assert_eq!(c.recv_color(0, p), c.wrap);
+        assert_eq!(c.recv_color(1, p), c.east_even);
+        assert_eq!(c.recv_color(4, p), c.east_odd);
+        // Adjacent PEs never share a send color with their successor's send.
+        for x in 0..p - 1 {
+            assert_ne!(c.send_color(x, p), c.send_color(x + 1, p));
+        }
+    }
+
+    #[test]
+    fn routes_use_three_colors_and_rotation_is_full_duplex() {
+        let p = 4;
+        let colors = RingColors::default();
+        let mut plan = CollectivePlan::new("phase-test", GridDim::row(p), Coord::new(0, 0), 8);
+        append_ring_routes(&mut plan, p, &colors);
+        assert_eq!(plan.colors_used().len(), 3);
+        append_ring_rotation(&mut plan, p, 2, &colors, 0, 0, RecvMode::Store);
+        for x in 0..p {
+            let program = plan.program(Coord::new(x, 0));
+            assert_eq!(program.len(), 1);
+            assert!(matches!(program.instructions()[0], Instruction::Exchange { len: 2, .. }));
+        }
+    }
+
+    /// The Ring AllReduce plan emitted exactly as before the phase
+    /// refactor (a frozen copy of the original per-PE emission loops),
+    /// used as the golden artefact the phase builders must reproduce.
+    fn golden_ring_allreduce(p: u32, vector_len: u32, op: ReduceOp) -> CollectivePlan {
+        let dim = GridDim::row(p);
+        let chunk = vector_len / p;
+        let east_even = Color::new(0);
+        let east_odd = Color::new(1);
+        let wrap = Color::new(2);
+        let mut plan = CollectivePlan::new(
+            format!("allreduce-1d-Ring-p{p}-b{vector_len}"),
+            dim,
+            Coord::new(0, 0),
+            vector_len,
+        );
+        let send_color = |x: u32| {
+            if x == p - 1 {
+                wrap
+            } else if x.is_multiple_of(2) {
+                east_even
+            } else {
+                east_odd
+            }
+        };
+        let recv_color = |x: u32| if x == 0 { wrap } else { send_color(x - 1) };
+        for x in 0..p {
+            let at = Coord::new(x, 0);
+            if x < p - 1 {
+                plan.push_rule(
+                    at,
+                    send_color(x),
+                    RouteRule::forever(Direction::Ramp, DirectionSet::single(Direction::East)),
+                );
+            } else {
+                plan.push_rule(
+                    at,
+                    wrap,
+                    RouteRule::forever(Direction::Ramp, DirectionSet::single(Direction::West)),
+                );
+            }
+            if x > 0 {
+                plan.push_rule(
+                    at,
+                    recv_color(x),
+                    RouteRule::forever(Direction::West, DirectionSet::single(Direction::Ramp)),
+                );
+            } else {
+                plan.push_rule(
+                    at,
+                    wrap,
+                    RouteRule::forever(Direction::East, DirectionSet::single(Direction::Ramp)),
+                );
+            }
+            if x > 0 && x < p - 1 {
+                plan.push_rule(
+                    at,
+                    wrap,
+                    RouteRule::forever(Direction::East, DirectionSet::single(Direction::West)),
+                );
+            }
+        }
+        for x in 0..p {
+            let at = Coord::new(x, 0);
+            let sc = send_color(x);
+            let rc = recv_color(x);
+            let my = x as i64;
+            let pp = p as i64;
+            let ci = |v: i64| (v.rem_euclid(pp)) as u32;
+            let program = plan.program_mut(at);
+            for r in 0..p as i64 - 1 {
+                program.exchange(
+                    sc,
+                    ci(my - r) * chunk,
+                    rc,
+                    ci(my - r - 1) * chunk,
+                    chunk,
+                    RecvMode::Reduce(op),
+                );
+            }
+            for r in 0..p as i64 - 1 {
+                program.exchange(
+                    sc,
+                    ci(my + 1 - r) * chunk,
+                    rc,
+                    ci(my - r) * chunk,
+                    chunk,
+                    RecvMode::Store,
+                );
+            }
+            plan.add_data_pe(at);
+            plan.add_result_pe(at);
+        }
+        plan
+    }
+
+    #[test]
+    fn phase_built_ring_allreduce_is_byte_identical_to_the_original_emission() {
+        // The refactored ring_allreduce_plan (routes + RS rounds + AG
+        // rounds with base 1) must reproduce the pre-refactor plan byte for
+        // byte: same programs, routing scripts and data/result PEs, so plan
+        // caches and engine-equivalence baselines are unaffected.
+        for (p, b) in [(2u32, 8u32), (4, 16), (5, 10), (8, 32)] {
+            for op in [ReduceOp::Sum, ReduceOp::Max] {
+                assert_eq!(
+                    crate::allreduce::ring_allreduce_plan(p, b, op),
+                    golden_ring_allreduce(p, b, op),
+                    "p={p} b={b}"
+                );
+            }
+        }
+    }
+}

@@ -30,6 +30,14 @@ pub struct CollectivePlan {
     scripts: Vec<Vec<(Color, ColorScript)>>,
     data_pes: Vec<Coord>,
     result_pes: Vec<Coord>,
+    /// Per data PE (same order as `data_pes`): the `(offset, len)` slice of
+    /// local memory its input vector is installed at. Full-vector collectives
+    /// use `(0, vector_len)`; sharded kinds (ReduceScatter output, AllGather
+    /// input, Scatter/Gather shards) use chunk-sized slices.
+    input_specs: Vec<(u32, u32)>,
+    /// Per result PE (same order as `result_pes`): the `(offset, len)` slice
+    /// of local memory the output vector is read from.
+    output_specs: Vec<(u32, u32)>,
 }
 
 impl CollectivePlan {
@@ -47,6 +55,8 @@ impl CollectivePlan {
             scripts: vec![Vec::new(); dim.num_pes()],
             data_pes: Vec::new(),
             result_pes: Vec::new(),
+            input_specs: Vec::new(),
+            output_specs: Vec::new(),
         }
     }
 
@@ -80,22 +90,59 @@ impl CollectivePlan {
         &self.result_pes
     }
 
-    /// Declare a PE as holding input data.
+    /// Per data PE (parallel to [`CollectivePlan::data_pes`]): the
+    /// `(offset, len)` slice of local memory each input vector occupies —
+    /// the plan's input shape contract.
+    pub fn input_specs(&self) -> &[(u32, u32)] {
+        &self.input_specs
+    }
+
+    /// Per result PE (parallel to [`CollectivePlan::result_pes`]): the
+    /// `(offset, len)` slice of local memory each output vector is read
+    /// from — the plan's output shape contract.
+    pub fn output_specs(&self) -> &[(u32, u32)] {
+        &self.output_specs
+    }
+
+    /// Declare a PE as holding a full-length input vector (at offset 0).
     pub fn add_data_pe(&mut self, at: Coord) {
+        let len = self.vector_len;
+        self.add_data_pe_slice(at, 0, len);
+    }
+
+    /// Declare a PE as holding an input slice of `len` elements installed at
+    /// local `offset` (sharded inputs, e.g. AllGather consuming one chunk
+    /// per PE).
+    pub fn add_data_pe_slice(&mut self, at: Coord, offset: u32, len: u32) {
         debug_assert!(self.dim.contains(at));
+        debug_assert!(len >= 1, "an input slice holds at least one element");
         self.data_pes.push(at);
+        self.input_specs.push((offset, len));
     }
 
-    /// Declare a PE as holding the result after the collective.
+    /// Declare a PE as holding the full-length result (at offset 0) after
+    /// the collective.
     pub fn add_result_pe(&mut self, at: Coord) {
-        debug_assert!(self.dim.contains(at));
-        self.result_pes.push(at);
+        let len = self.vector_len;
+        self.add_result_pe_slice(at, 0, len);
     }
 
-    /// Remove all result-PE declarations (used when a composition changes
-    /// where the result lives, e.g. Reduce extended to AllReduce).
+    /// Declare a PE as holding an output slice of `len` elements at local
+    /// `offset` (sharded outputs, e.g. ReduceScatter emitting one chunk per
+    /// PE).
+    pub fn add_result_pe_slice(&mut self, at: Coord, offset: u32, len: u32) {
+        debug_assert!(self.dim.contains(at));
+        debug_assert!(len >= 1, "an output slice holds at least one element");
+        self.result_pes.push(at);
+        self.output_specs.push((offset, len));
+    }
+
+    /// Remove all result-PE declarations and their output specs (used when a
+    /// composition changes where the result lives, e.g. Reduce extended to
+    /// AllReduce).
     pub fn clear_result_pes(&mut self) {
         self.result_pes.clear();
+        self.output_specs.clear();
     }
 
     /// Mutable access to the program of a PE.
@@ -214,6 +261,7 @@ impl CollectivePlan {
         }
         self.name = name.into();
         self.result_pes = other.result_pes.clone();
+        self.output_specs = other.output_specs.clone();
         self
     }
 }

@@ -8,6 +8,32 @@
 //! model-driven selection. Requests are cheap to copy, hashable and
 //! comparable, which is what lets [`crate::session::Session`] key its plan
 //! cache on them directly.
+//!
+//! # The collective suite
+//!
+//! Every [`CollectiveKind`] maps to a paper-grounded phase decomposition
+//! (the building blocks live in [`crate::phases`] and
+//! [`crate::collectives`]) and a per-PE I/O shape contract, with
+//! `c = vector_len / p` the shard ("chunk") size:
+//!
+//! | kind            | paper      | phase decomposition                    | input per PE `x` | output per PE `x` |
+//! |-----------------|------------|----------------------------------------|------------------|-------------------|
+//! | `Reduce`        | §5         | selected reduction tree                | full vector      | root: full vector |
+//! | `AllReduce`     | §6         | reduce+bcast, or RS rounds + AG rounds | full vector      | full vector       |
+//! | `Broadcast`     | §4.2, §7.1 | flood                                  | root: full       | full vector       |
+//! | `ReduceScatter` | §6.2 half  | RS rounds + homing rotation            | full vector      | `c` at `x·c`      |
+//! | `AllGather`     | §6.2 half  | AG rounds                              | `c` at `x·c`     | full vector       |
+//! | `Gather`        | §4.1, §5   | pipelined westward line stream         | `c` at `x·c`     | root: full vector |
+//! | `Scatter`       | §4.1, §5   | pipelined eastward line stream         | root: full       | `c` at `x·c`      |
+//! | `AllToAll`      | §6.2 ring  | `p-1` store-and-forward rotations      | full vector      | full vector       |
+//!
+//! The sharded kinds share one layout — shard `i` at offset `i·c` — so
+//! their outputs feed the next collective's inputs without host-side
+//! reshuffling (`Scatter → ReduceScatter → AllGather` is the
+//! `examples/mlp_layer.rs` pipeline). Rooted kinds (`Reduce`, `Broadcast`,
+//! `Gather`, `Scatter`) accept [`CollectiveRequest::with_root`]; the
+//! symmetric kinds reject it with
+//! [`CollectiveError::RootlessCollective`].
 
 use wse_fabric::geometry::{Coord, GridDim};
 use wse_fabric::program::ReduceOp;
@@ -19,6 +45,10 @@ use crate::allreduce::{
     allreduce_1d_plan, allreduce_2d_plan, xy_allreduce_2d_plan, AllReducePattern,
 };
 use crate::broadcast::{flood_broadcast_2d_plan, flood_broadcast_plan};
+use crate::collectives::{
+    all_to_all_rotate_plan, allgather_ring_plan, gather_line_plan, reduce_scatter_ring_plan,
+    scatter_line_plan,
+};
 use crate::error::CollectiveError;
 use crate::path::LinePath;
 use crate::plan::CollectivePlan;
@@ -35,6 +65,34 @@ pub enum CollectiveKind {
     AllReduce,
     /// Flooding broadcast of the root's vector (§4.2, §7.1).
     Broadcast,
+    /// Reduce whose result is sharded over the PEs: PE `x` ends with the
+    /// fully reduced shard `x` (the first half of the Ring AllReduce).
+    ReduceScatter,
+    /// Concatenate the PEs' shards onto every PE (the second half of the
+    /// Ring AllReduce).
+    AllGather,
+    /// Concatenate the PEs' shards onto the root PE.
+    Gather,
+    /// Distribute the root's vector as shards over the PEs.
+    Scatter,
+    /// Personalised exchange: PE `x` sends chunk `d` of its vector to PE
+    /// `d` and receives chunk `s` from every PE `s`.
+    AllToAll,
+}
+
+impl CollectiveKind {
+    /// Whether the collective has a distinguished root PE. The symmetric
+    /// kinds reject [`CollectiveRequest::with_root`] with
+    /// [`CollectiveError::RootlessCollective`].
+    pub fn is_rooted(&self) -> bool {
+        matches!(
+            self,
+            CollectiveKind::Reduce
+                | CollectiveKind::Broadcast
+                | CollectiveKind::Gather
+                | CollectiveKind::Scatter
+        )
+    }
 }
 
 /// The set of PEs a collective runs on.
@@ -91,6 +149,17 @@ pub enum Schedule {
     /// the paper's comparison can be reproduced (valid for `AllReduce` on a
     /// grid).
     AllReduceXy(ReducePattern),
+    /// The ring ReduceScatter (valid for `ReduceScatter` on a line).
+    ReduceScatterRing,
+    /// The ring AllGather (valid for `AllGather` on a line).
+    AllGatherRing,
+    /// The pipelined line Gather (valid for `Gather` on a line).
+    GatherLine,
+    /// The pipelined line Scatter (valid for `Scatter` on a line).
+    ScatterLine,
+    /// The store-and-forward rotation All-to-All (valid for `AllToAll` on a
+    /// line).
+    AllToAllRotate,
 }
 
 /// A fully specified collective request: the cache key and the input to plan
@@ -152,6 +221,38 @@ impl CollectiveRequest {
         Self::new(CollectiveKind::Broadcast, topology, vector_len)
     }
 
+    /// A ReduceScatter request (sum, model-selected schedule by default).
+    /// `vector_len` is the *full* per-PE input length; outputs are one
+    /// `vector_len / p` shard per PE.
+    pub fn reduce_scatter(topology: Topology, vector_len: u32) -> Self {
+        Self::new(CollectiveKind::ReduceScatter, topology, vector_len)
+    }
+
+    /// An AllGather request. `vector_len` is the *gathered* length; inputs
+    /// are one `vector_len / p` shard per PE.
+    pub fn allgather(topology: Topology, vector_len: u32) -> Self {
+        Self::new(CollectiveKind::AllGather, topology, vector_len)
+    }
+
+    /// A Gather request (to the canonical root). `vector_len` is the
+    /// gathered length; inputs are one `vector_len / p` shard per PE.
+    pub fn gather(topology: Topology, vector_len: u32) -> Self {
+        Self::new(CollectiveKind::Gather, topology, vector_len)
+    }
+
+    /// A Scatter request (from the canonical root). `vector_len` is the
+    /// root's full input length; outputs are one `vector_len / p` shard per
+    /// PE.
+    pub fn scatter(topology: Topology, vector_len: u32) -> Self {
+        Self::new(CollectiveKind::Scatter, topology, vector_len)
+    }
+
+    /// An All-to-All request: chunk `d` of PE `x`'s `vector_len`-element
+    /// input goes to PE `d`, chunk slot `s` of its output comes from PE `s`.
+    pub fn all_to_all(topology: Topology, vector_len: u32) -> Self {
+        Self::new(CollectiveKind::AllToAll, topology, vector_len)
+    }
+
     /// Use the given reduction operation.
     pub fn with_op(mut self, op: ReduceOp) -> Self {
         self.op = op;
@@ -164,11 +265,19 @@ impl CollectiveRequest {
         self
     }
 
-    /// Use the given root PE. Only the canonical `(0, 0)` root is currently
-    /// supported; any other value is rejected at resolution time.
-    pub fn with_root(mut self, root: Coord) -> Self {
+    /// Use the given root PE on a rooted collective (`Reduce`, `Broadcast`,
+    /// `Gather`, `Scatter`). Rootless kinds — every participant of an
+    /// AllReduce, ReduceScatter, AllGather or All-to-All plays the same
+    /// role — are rejected with [`CollectiveError::RootlessCollective`]
+    /// instead of silently ignoring the hint. Only the canonical `(0, 0)`
+    /// root is currently supported; other values are rejected at resolution
+    /// time.
+    pub fn with_root(mut self, root: Coord) -> Result<Self, CollectiveError> {
+        if !self.kind.is_rooted() {
+            return Err(CollectiveError::RootlessCollective { kind: self.kind });
+        }
         self.root = root;
-        self
+        Ok(self)
     }
 
     /// Check the request's parameters without building a plan.
@@ -195,6 +304,34 @@ impl CollectiveRequest {
             return Err(CollectiveError::InvalidRequest {
                 reason: format!("only the canonical root (0, 0) is supported, got {}", self.root),
             });
+        }
+        if matches!(
+            self.kind,
+            CollectiveKind::ReduceScatter
+                | CollectiveKind::AllGather
+                | CollectiveKind::Gather
+                | CollectiveKind::Scatter
+                | CollectiveKind::AllToAll
+        ) {
+            let Topology::Line(p) = self.topology else {
+                return Err(CollectiveError::InvalidRequest {
+                    reason: format!("{:?} is only implemented on 1D lines", self.kind),
+                });
+            };
+            if p < 2 {
+                return Err(CollectiveError::InvalidRequest {
+                    reason: format!("{:?} needs at least two PEs", self.kind),
+                });
+            }
+            if !self.vector_len.is_multiple_of(p) {
+                return Err(CollectiveError::InvalidRequest {
+                    reason: format!(
+                        "{:?} requires the vector length ({}) to be divisible by the PE \
+                         count ({p})",
+                        self.kind, self.vector_len
+                    ),
+                });
+            }
         }
         if self.kind == CollectiveKind::AllReduce {
             if let (Topology::Line(p), Schedule::AllReduce1d(AllReducePattern::Ring)) =
@@ -344,6 +481,67 @@ impl CollectiveRequest {
                 )),
                 _ => Err(mismatch()),
             },
+            (CollectiveKind::ReduceScatter, Topology::Line(p)) => match self.schedule {
+                Schedule::Auto => Ok(ResolvedPlan::auto(
+                    reduce_scatter_ring_plan(p, b, self.op),
+                    selection::choose_reduce_scatter_1d(p as u64, b as u64, machine),
+                )),
+                Schedule::ReduceScatterRing => Ok(ResolvedPlan::explicit(
+                    reduce_scatter_ring_plan(p, b, self.op),
+                    "Ring-ReduceScatter",
+                )),
+                _ => Err(mismatch()),
+            },
+            (CollectiveKind::AllGather, Topology::Line(p)) => match self.schedule {
+                Schedule::Auto => Ok(ResolvedPlan::auto(
+                    allgather_ring_plan(p, b),
+                    selection::choose_allgather_1d(p as u64, b as u64, machine),
+                )),
+                Schedule::AllGatherRing => {
+                    Ok(ResolvedPlan::explicit(allgather_ring_plan(p, b), "Ring-AllGather"))
+                }
+                _ => Err(mismatch()),
+            },
+            (CollectiveKind::Gather, Topology::Line(p)) => match self.schedule {
+                Schedule::Auto => Ok(ResolvedPlan::auto(
+                    gather_line_plan(p, b),
+                    selection::choose_gather_1d(p as u64, b as u64, machine),
+                )),
+                Schedule::GatherLine => {
+                    Ok(ResolvedPlan::explicit(gather_line_plan(p, b), "Line-Gather"))
+                }
+                _ => Err(mismatch()),
+            },
+            (CollectiveKind::Scatter, Topology::Line(p)) => match self.schedule {
+                Schedule::Auto => Ok(ResolvedPlan::auto(
+                    scatter_line_plan(p, b),
+                    selection::choose_scatter_1d(p as u64, b as u64, machine),
+                )),
+                Schedule::ScatterLine => {
+                    Ok(ResolvedPlan::explicit(scatter_line_plan(p, b), "Line-Scatter"))
+                }
+                _ => Err(mismatch()),
+            },
+            (CollectiveKind::AllToAll, Topology::Line(p)) => match self.schedule {
+                Schedule::Auto => Ok(ResolvedPlan::auto(
+                    all_to_all_rotate_plan(p, b),
+                    selection::choose_all_to_all_1d(p as u64, b as u64, machine),
+                )),
+                Schedule::AllToAllRotate => {
+                    Ok(ResolvedPlan::explicit(all_to_all_rotate_plan(p, b), "Rotate-AllToAll"))
+                }
+                _ => Err(mismatch()),
+            },
+            (
+                CollectiveKind::ReduceScatter
+                | CollectiveKind::AllGather
+                | CollectiveKind::Gather
+                | CollectiveKind::Scatter
+                | CollectiveKind::AllToAll,
+                Topology::Grid(_),
+            ) => {
+                unreachable!("validate() rejects suite kinds on grid topologies")
+            }
         }
     }
 }
@@ -422,6 +620,88 @@ mod tests {
     }
 
     #[test]
+    fn suite_kinds_resolve_and_run_with_kind_aware_shapes() {
+        let m = machine();
+        let (p, b) = (4u32, 16u32);
+        let chunk = (b / p) as usize;
+        let full = inputs(p as usize, b as usize);
+        let shards: Vec<Vec<f32>> =
+            (0..p as usize).map(|x| full[0][x * chunk..(x + 1) * chunk].to_vec()).collect();
+
+        let rs = CollectiveRequest::reduce_scatter(Topology::line(p), b).resolve(&m).unwrap();
+        assert_eq!(rs.algorithm, "Ring-ReduceScatter");
+        assert!(rs.choice.is_some());
+        let outcome = run_plan(&rs.plan, &full, &RunConfig::default()).unwrap();
+        let reduced = expected_reduce(&full, ReduceOp::Sum);
+        for (x, (_, shard)) in outcome.outputs.iter().enumerate() {
+            assert_eq!(shard, &reduced[x * chunk..(x + 1) * chunk]);
+        }
+
+        let ag = CollectiveRequest::allgather(Topology::line(p), b).resolve(&m).unwrap();
+        assert_eq!(ag.algorithm, "Ring-AllGather");
+        let outcome = run_plan(&ag.plan, &shards, &RunConfig::default()).unwrap();
+        for (_, out) in &outcome.outputs {
+            assert_eq!(out, &full[0]);
+        }
+
+        let gather = CollectiveRequest::gather(Topology::line(p), b).resolve(&m).unwrap();
+        assert_eq!(gather.algorithm, "Line-Gather");
+        let outcome = run_plan(&gather.plan, &shards, &RunConfig::default()).unwrap();
+        assert_eq!(outcome.outputs.len(), 1);
+        assert_eq!(outcome.outputs[0].1, full[0]);
+
+        let scatter = CollectiveRequest::scatter(Topology::line(p), b).resolve(&m).unwrap();
+        assert_eq!(scatter.algorithm, "Line-Scatter");
+        let outcome = run_plan(&scatter.plan, &full[..1], &RunConfig::default()).unwrap();
+        for (x, (_, shard)) in outcome.outputs.iter().enumerate() {
+            assert_eq!(shard, &shards[x]);
+        }
+
+        let a2a = CollectiveRequest::all_to_all(Topology::line(p), b).resolve(&m).unwrap();
+        assert_eq!(a2a.algorithm, "Rotate-AllToAll");
+        let outcome = run_plan(&a2a.plan, &full, &RunConfig::default()).unwrap();
+        for (x, (_, out)) in outcome.outputs.iter().enumerate() {
+            let expected: Vec<f32> = (0..p as usize)
+                .flat_map(|s| full[s][x * chunk..(x + 1) * chunk].iter().copied())
+                .collect();
+            assert_eq!(out, &expected);
+        }
+
+        // Wrong-shaped inputs are rejected by the kind-aware contract: the
+        // AllGather expects chunk-sized shards, not full vectors.
+        let err = run_plan(&ag.plan, &full, &RunConfig::default()).unwrap_err();
+        assert_eq!(
+            err,
+            CollectiveError::InputLengthMismatch {
+                index: 0,
+                expected: chunk as u32,
+                got: b as usize
+            }
+        );
+    }
+
+    #[test]
+    fn rootless_collectives_reject_with_root() {
+        for request in [
+            CollectiveRequest::allreduce(Topology::line(4), 8),
+            CollectiveRequest::reduce_scatter(Topology::line(4), 8),
+            CollectiveRequest::allgather(Topology::line(4), 8),
+            CollectiveRequest::all_to_all(Topology::line(4), 8),
+        ] {
+            let err = request.with_root(Coord::new(0, 0)).unwrap_err();
+            assert_eq!(err, CollectiveError::RootlessCollective { kind: request.kind });
+        }
+        for request in [
+            CollectiveRequest::reduce(Topology::line(4), 8),
+            CollectiveRequest::broadcast(Topology::line(4), 8),
+            CollectiveRequest::gather(Topology::line(4), 8),
+            CollectiveRequest::scatter(Topology::line(4), 8),
+        ] {
+            assert!(request.with_root(Coord::new(0, 0)).is_ok(), "{:?} is rooted", request.kind);
+        }
+    }
+
+    #[test]
     fn broadcast_requests_resolve_for_both_topologies() {
         let m = machine();
         for request in [
@@ -465,8 +745,17 @@ mod tests {
         let m = machine();
         let zero_b = CollectiveRequest::reduce(Topology::line(8), 0);
         assert!(matches!(zero_b.resolve(&m), Err(CollectiveError::InvalidRequest { .. })));
-        let bad_root = CollectiveRequest::reduce(Topology::line(8), 4).with_root(Coord::new(1, 0));
+        let bad_root = CollectiveRequest::reduce(Topology::line(8), 4)
+            .with_root(Coord::new(1, 0))
+            .expect("Reduce is rooted");
         assert!(matches!(bad_root.resolve(&m), Err(CollectiveError::InvalidRequest { .. })));
+        let grid_suite = CollectiveRequest::allgather(Topology::grid(4, 4), 16);
+        assert!(matches!(grid_suite.resolve(&m), Err(CollectiveError::InvalidRequest { .. })));
+        let indivisible_suite = CollectiveRequest::all_to_all(Topology::line(4), 13);
+        assert!(matches!(
+            indivisible_suite.resolve(&m),
+            Err(CollectiveError::InvalidRequest { .. })
+        ));
         let indivisible_ring = CollectiveRequest::allreduce(Topology::line(4), 13)
             .with_schedule(Schedule::AllReduce1d(AllReducePattern::Ring));
         assert!(matches!(

@@ -53,8 +53,10 @@ impl RunOutcome {
 /// Execute a plan on a fresh fabric.
 ///
 /// `inputs` provides one vector per entry of [`CollectivePlan::data_pes`],
-/// in the same order; each vector must have exactly
-/// [`CollectivePlan::vector_len`] elements. Sessions
+/// in the same order; each vector's length must match the plan's per-PE
+/// input shape contract ([`CollectivePlan::input_specs`] — the full
+/// [`CollectivePlan::vector_len`] for most collectives, one chunk for
+/// sharded inputs). Sessions
 /// ([`crate::session::Session::run`]) execute the same way but reuse one
 /// resettable fabric per grid instead of allocating a new mesh per call.
 pub fn run_plan(
@@ -70,7 +72,9 @@ pub fn run_plan(
     execute_on(&mut fabric, plan, inputs)
 }
 
-/// Check that `inputs` matches a plan's data PEs and vector length.
+/// Check that `inputs` matches a plan's data PEs and per-PE input shape
+/// contract ([`CollectivePlan::input_specs`]): full-length vectors for most
+/// collectives, chunk-sized shards for the sharded kinds (e.g. AllGather).
 pub(crate) fn check_inputs(
     plan: &CollectivePlan,
     inputs: &[Vec<f32>],
@@ -81,11 +85,11 @@ pub(crate) fn check_inputs(
             got: inputs.len(),
         });
     }
-    for (index, input) in inputs.iter().enumerate() {
-        if input.len() != plan.vector_len() as usize {
+    for (index, (input, (_, expected))) in inputs.iter().zip(plan.input_specs()).enumerate() {
+        if input.len() != *expected as usize {
             return Err(CollectiveError::InputLengthMismatch {
                 index,
-                expected: plan.vector_len(),
+                expected: *expected,
                 got: input.len(),
             });
         }
@@ -107,14 +111,22 @@ pub(crate) fn execute_on(
 ) -> Result<RunOutcome, CollectiveError> {
     debug_assert!(check_inputs(plan, inputs).is_ok(), "execute_on called with unchecked inputs");
     plan.apply(fabric);
-    for (at, data) in plan.data_pes().iter().zip(inputs) {
-        fabric.set_local(*at, data);
+    for ((at, (offset, _)), data) in plan.data_pes().iter().zip(plan.input_specs()).zip(inputs) {
+        if *offset == 0 {
+            fabric.set_local(*at, data);
+        } else {
+            fabric.set_local_at(*at, *offset, data);
+        }
     }
     let report = fabric.run()?;
     let outputs = plan
         .result_pes()
         .iter()
-        .map(|at| (*at, fabric.local(*at)[..plan.vector_len() as usize].to_vec()))
+        .zip(plan.output_specs())
+        .map(|(at, (offset, len))| {
+            let start = *offset as usize;
+            (*at, fabric.local(*at)[start..start + *len as usize].to_vec())
+        })
         .collect();
     Ok(RunOutcome { report, outputs })
 }

@@ -435,6 +435,13 @@ impl Fabric {
         self.pes[idx].set_local(data);
     }
 
+    /// Write an input slice into one PE's local memory starting at `offset`,
+    /// leaving memory outside the slice untouched.
+    pub fn set_local_at(&mut self, at: Coord, offset: u32, data: &[f32]) {
+        let idx = self.dim.index(at);
+        self.pes[idx].set_local_at(offset, data);
+    }
+
     /// The local vector of a PE (result inspection after a run).
     pub fn local(&self, at: Coord) -> &[f32] {
         self.pes[self.dim.index(at)].local()

@@ -154,6 +154,18 @@ impl PeState {
         self.local[..data.len()].copy_from_slice(data);
     }
 
+    /// Write `data` into local memory starting at `offset`, growing the
+    /// memory if needed and leaving everything outside the slice untouched
+    /// (sharded collective inputs, e.g. one AllGather chunk per PE).
+    pub fn set_local_at(&mut self, offset: u32, data: &[f32]) {
+        let start = offset as usize;
+        let end = start + data.len();
+        if self.local.len() < end {
+            self.local.resize(end, 0.0);
+        }
+        self.local[start..end].copy_from_slice(data);
+    }
+
     /// The local vector after (or during) a run.
     pub fn local(&self) -> &[f32] {
         &self.local

@@ -203,6 +203,98 @@ pub fn ring_allreduce(p: u64, b: u64) -> CostTerms {
     }
 }
 
+/// Cost of the ring ReduceScatter: the first `P - 1` rounds of the Ring
+/// AllReduce (§6.2) plus one extra Store rotation that homes the finished
+/// shards (shard `x` onto PE `x`), i.e. `P` rounds of `B/P` wavelets over
+/// the ring's `2(P-1)` directed links.
+pub fn ring_reduce_scatter(p: u64, b: u64) -> CostTerms {
+    assert!(p >= 1 && b >= 1);
+    if p == 1 {
+        return CostTerms::new(0, 0, 0, 0, 0);
+    }
+    let p_f = p as f64;
+    let chunk = b as f64 / p_f;
+    let rounds = p_f;
+    let links = 2.0 * (p_f - 1.0);
+    CostTerms {
+        energy: rounds * links * chunk,
+        distance: 2.0 * p_f - 3.0,
+        depth: rounds,
+        contention: rounds * chunk,
+        links,
+    }
+}
+
+/// Cost of the ring AllGather: the second half of the Ring AllReduce (§6.2)
+/// on its own — `P - 1` Store rounds of `B/P` wavelets circulating the
+/// shards around the ring.
+pub fn ring_allgather(p: u64, b: u64) -> CostTerms {
+    assert!(p >= 1 && b >= 1);
+    if p == 1 {
+        return CostTerms::new(0, 0, 0, 0, 0);
+    }
+    let p_f = p as f64;
+    let chunk = b as f64 / p_f;
+    let rounds = p_f - 1.0;
+    let links = 2.0 * (p_f - 1.0);
+    CostTerms {
+        energy: rounds * links * chunk,
+        distance: 2.0 * p_f - 3.0,
+        depth: rounds,
+        contention: rounds * chunk,
+        links,
+    }
+}
+
+/// Cost of the pipelined line Gather rooted at the row's west end: every PE
+/// injects its `B/P`-wavelet shard and forwards the eastern shards, so the
+/// root drains `(P-1)·B/P` wavelets back to back — the §5 counting bound up
+/// to the shard the root already owns. The line Scatter is its mirror image
+/// with identical terms.
+pub fn line_gather(p: u64, b: u64) -> CostTerms {
+    assert!(p >= 1 && b >= 1);
+    if p == 1 {
+        return CostTerms::new(0, 0, 0, 0, 0);
+    }
+    let chunk = b / p;
+    // Shard m travels m hops: total energy chunk · P(P-1)/2.
+    CostTerms::new(chunk * p * (p - 1) / 2, p - 1, 1, chunk * (p - 1), p - 1)
+}
+
+/// Cost of the line Scatter rooted at the row's west end (see
+/// [`line_gather`]; the streams are reversed but the terms are the same).
+pub fn line_scatter(p: u64, b: u64) -> CostTerms {
+    line_gather(p, b)
+}
+
+/// Cost of the rotation All-to-All on the ring: `P - 1` phases in which
+/// every chunk still in flight advances one ring hop, `P - k` chunk
+/// exchanges per PE in phase `k` — `P(P-1)/2` chunks of `B/P` wavelets per
+/// directed link in total, roughly twice the bisection bound in exchange
+/// for nearest-neighbour traffic only.
+pub fn rotate_all_to_all(p: u64, b: u64) -> CostTerms {
+    assert!(p >= 1 && b >= 1);
+    if p == 1 {
+        return CostTerms::new(0, 0, 0, 0, 0);
+    }
+    if p == 2 {
+        // Degenerate pairwise exchange: each PE sends its peer-destined
+        // half one hop, full duplex.
+        return CostTerms::new(b, 1, 1, b / 2, 2);
+    }
+    let p_f = p as f64;
+    let chunk = b as f64 / p_f;
+    let volume = p_f * (p_f - 1.0) / 2.0; // chunks per PE over all phases
+    let links = 2.0 * (p_f - 1.0);
+    CostTerms {
+        energy: volume * links * chunk,
+        distance: 2.0 * p_f - 3.0,
+        depth: p_f - 1.0,
+        contention: volume * chunk,
+        links,
+    }
+}
+
 /// Predicted cost of a Butterfly (recursive-doubling) AllReduce mapped onto
 /// the row. The paper plots its prediction in Figure 11c to show that
 /// patterns designed for low-diameter networks translate poorly to a mesh:
@@ -361,6 +453,47 @@ mod tests {
             let expected =
                 2.0 * (p_f - 1.0) * b_f / p_f + 4.0 * p_f - 6.0 + 2.0 * (p_f - 1.0) * 5.0;
             assert!((t - expected).abs() < 1e-6, "p={p} b={b}: got {t}, expected {expected}");
+        }
+    }
+
+    #[test]
+    fn suite_halves_sum_to_roughly_the_ring_allreduce() {
+        // ReduceScatter (P rounds, one of them the homing rotation) plus
+        // AllGather (P - 1 rounds) predicts one extra round over the Ring
+        // AllReduce's 2(P - 1): the composition costs about one chunk plus
+        // one depth overhead more than the fused collective.
+        for (p, b) in [(4u64, 64u64), (8, 256), (64, 4096)] {
+            let rs = ring_reduce_scatter(p, b).predict(&M);
+            let ag = ring_allgather(p, b).predict(&M);
+            let ar = ring_allreduce(p, b).predict(&M);
+            let extra = (rs + ag) - ar;
+            let round = b as f64 / p as f64 + (2 * M.t_r + 1) as f64;
+            assert!(
+                extra > 0.0 && extra <= round + (2 * p) as f64,
+                "p={p} b={b}: composition overhead {extra} vs round {round}"
+            );
+        }
+    }
+
+    #[test]
+    fn gather_and_scatter_are_contention_bound_for_large_vectors() {
+        for (p, b) in [(4u64, 64u64), (16, 1024), (64, 4096)] {
+            let chunk = b / p;
+            let t = line_gather(p, b).predict(&M);
+            // The root drains (P-1) shards back to back.
+            assert!(t >= (chunk * (p - 1)) as f64, "p={p} b={b}: {t}");
+            assert_eq!(line_scatter(p, b), line_gather(p, b));
+        }
+    }
+
+    #[test]
+    fn all_to_all_costs_more_than_a_single_gather() {
+        // Every PE moves (P-1) chunks instead of one shard.
+        for (p, b) in [(2u64, 32u64), (4, 64), (16, 1024)] {
+            assert!(
+                rotate_all_to_all(p, b).predict(&M) >= line_gather(p, b).predict(&M),
+                "p={p} b={b}"
+            );
         }
     }
 

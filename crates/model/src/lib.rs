@@ -75,4 +75,5 @@ pub use cost::CostTerms;
 pub use machine::Machine;
 pub use selection::{
     AllReduce1dAlgorithm, Choice, ChosenAlgorithm, Reduce1dAlgorithm, Reduce2dAlgorithm,
+    Suite1dAlgorithm,
 };

@@ -219,6 +219,51 @@ impl Reduce2dAlgorithm {
     }
 }
 
+/// The 1D algorithms of the inference collective suite (ReduceScatter,
+/// AllGather, Gather, Scatter, All-to-All). Each kind currently has one
+/// mesh-native candidate, so selection is a single-candidate choice — the
+/// enum still flows through [`Choice`] so the `Schedule::Auto` pipeline,
+/// prediction reporting and plan naming treat the suite exactly like the
+/// contested kinds, and future candidates (e.g. a tree Gather) only extend
+/// the candidate lists here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite1dAlgorithm {
+    /// The first half of the Ring AllReduce plus a homing rotation.
+    RingReduceScatter,
+    /// The second half of the Ring AllReduce on its own.
+    RingAllGather,
+    /// The pipelined westward line Gather.
+    LineGather,
+    /// The pipelined eastward line Scatter.
+    LineScatter,
+    /// The store-and-forward ring rotation All-to-All.
+    RotateAllToAll,
+}
+
+impl Suite1dAlgorithm {
+    /// Name as used in plan names and bench output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::RingReduceScatter => "Ring-ReduceScatter",
+            Self::RingAllGather => "Ring-AllGather",
+            Self::LineGather => "Line-Gather",
+            Self::LineScatter => "Line-Scatter",
+            Self::RotateAllToAll => "Rotate-AllToAll",
+        }
+    }
+
+    /// Predicted cycles for `p` PEs and `b` wavelets.
+    pub fn cycles(&self, p: u64, b: u64, machine: &Machine) -> f64 {
+        match self {
+            Self::RingReduceScatter => costs_1d::ring_reduce_scatter(p, b).predict(machine),
+            Self::RingAllGather => costs_1d::ring_allgather(p, b).predict(machine),
+            Self::LineGather => costs_1d::line_gather(p, b).predict(machine),
+            Self::LineScatter => costs_1d::line_scatter(p, b).predict(machine),
+            Self::RotateAllToAll => costs_1d::rotate_all_to_all(p, b).predict(machine),
+        }
+    }
+}
+
 /// Result of a best-algorithm query.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Best<A> {
@@ -242,6 +287,8 @@ pub enum ChosenAlgorithm {
     Reduce2d(Reduce2dAlgorithm),
     /// A 2D Reduce algorithm followed by the 2D flooding Broadcast.
     AllReduce2d(Reduce2dAlgorithm),
+    /// A 1D algorithm of the inference collective suite.
+    Suite1d(Suite1dAlgorithm),
 }
 
 impl ChosenAlgorithm {
@@ -251,6 +298,7 @@ impl ChosenAlgorithm {
             Self::Reduce1d(a) => a.name(),
             Self::AllReduce1d(a) => a.name(),
             Self::Reduce2d(a) | Self::AllReduce2d(a) => a.name(),
+            Self::Suite1d(a) => a.name(),
         }
     }
 }
@@ -294,6 +342,35 @@ pub fn choose_allreduce_2d(m_rows: u64, n_cols: u64, b: u64, machine: &Machine) 
         algorithm: ChosenAlgorithm::AllReduce2d(best.algorithm),
         predicted_cycles: best.cycles,
     }
+}
+
+/// The model's choice for a 1D ReduceScatter (single candidate: the ring).
+pub fn choose_reduce_scatter_1d(p: u64, b: u64, machine: &Machine) -> Choice {
+    suite_choice(Suite1dAlgorithm::RingReduceScatter, p, b, machine)
+}
+
+/// The model's choice for a 1D AllGather (single candidate: the ring).
+pub fn choose_allgather_1d(p: u64, b: u64, machine: &Machine) -> Choice {
+    suite_choice(Suite1dAlgorithm::RingAllGather, p, b, machine)
+}
+
+/// The model's choice for a 1D Gather (single candidate: the line stream).
+pub fn choose_gather_1d(p: u64, b: u64, machine: &Machine) -> Choice {
+    suite_choice(Suite1dAlgorithm::LineGather, p, b, machine)
+}
+
+/// The model's choice for a 1D Scatter (single candidate: the line stream).
+pub fn choose_scatter_1d(p: u64, b: u64, machine: &Machine) -> Choice {
+    suite_choice(Suite1dAlgorithm::LineScatter, p, b, machine)
+}
+
+/// The model's choice for a 1D All-to-All (single candidate: the rotation).
+pub fn choose_all_to_all_1d(p: u64, b: u64, machine: &Machine) -> Choice {
+    suite_choice(Suite1dAlgorithm::RotateAllToAll, p, b, machine)
+}
+
+fn suite_choice(alg: Suite1dAlgorithm, p: u64, b: u64, machine: &Machine) -> Choice {
+    Choice { algorithm: ChosenAlgorithm::Suite1d(alg), predicted_cycles: alg.cycles(p, b, machine) }
 }
 
 /// The fixed 1D Reduce algorithm the model predicts to be fastest.
@@ -505,5 +582,34 @@ mod tests {
         assert_eq!(Reduce1dAlgorithm::TwoPhase.name(), "Two-Phase");
         assert_eq!(AllReduce1dAlgorithm::ChainBcast.name(), "Chain+Bcast");
         assert_eq!(Reduce2dAlgorithm::XyChain.name(), "X-Y Chain");
+        assert_eq!(Suite1dAlgorithm::RingReduceScatter.name(), "Ring-ReduceScatter");
+        assert_eq!(Suite1dAlgorithm::RotateAllToAll.name(), "Rotate-AllToAll");
+    }
+
+    #[test]
+    fn suite_choices_carry_positive_predictions_above_the_bounds() {
+        let m = mach();
+        for p in [2u64, 3, 8, 64] {
+            let b = 16 * p;
+            let cases = [
+                (
+                    choose_reduce_scatter_1d(p, b, &m),
+                    lower_bound::t_star_reduce_scatter_1d(p, b, &m),
+                ),
+                (choose_allgather_1d(p, b, &m), lower_bound::t_star_allgather_1d(p, b, &m)),
+                (choose_gather_1d(p, b, &m), lower_bound::t_star_gather_1d(p, b, &m)),
+                (choose_scatter_1d(p, b, &m), lower_bound::t_star_scatter_1d(p, b, &m)),
+                (choose_all_to_all_1d(p, b, &m), lower_bound::t_star_all_to_all_1d(p, b, &m)),
+            ];
+            for (choice, bound) in cases {
+                assert!(matches!(choice.algorithm, ChosenAlgorithm::Suite1d(_)));
+                assert!(
+                    choice.predicted_cycles >= bound - 1e-6,
+                    "p={p}: {} predicts {} below its bound {bound}",
+                    choice.algorithm.name(),
+                    choice.predicted_cycles
+                );
+            }
+        }
     }
 }

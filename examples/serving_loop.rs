@@ -73,7 +73,7 @@ fn main() {
             CollectiveKind::Reduce | CollectiveKind::AllReduce => {
                 assert_outputs_close(&outcome, &expected, 1e-4);
             }
-            CollectiveKind::Broadcast => {}
+            _ => {}
         }
         verified += 1;
         worst_latency = worst_latency.max(response.latency);

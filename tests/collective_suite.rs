@@ -1,0 +1,222 @@
+//! Integration tests for the inference collective suite: the five new
+//! request kinds served end to end through `Schedule::Auto`, the shared
+//! shard-at-index layout chaining collectives without host-side
+//! reshuffling, and the algebraic identity that a ReduceScatter followed by
+//! an AllGather *is* an AllReduce — bit for bit, since both are built from
+//! the same phase builders with the same accumulation order.
+
+use proptest::prelude::*;
+
+use wse_collectives::prelude::*;
+use wse_integration_tests::deterministic_inputs;
+
+/// The reference All-to-All transpose: output of PE `x` holds PE `s`'s
+/// chunk `x` at offset `s * chunk`.
+fn expected_all_to_all(data: &[Vec<f32>], chunk: usize) -> Vec<Vec<f32>> {
+    let p = data.len();
+    (0..p)
+        .map(|x| (0..p).flat_map(|s| data[s][x * chunk..(x + 1) * chunk].iter().copied()).collect())
+        .collect()
+}
+
+/// Split a vector into `p` chunk-sized shards (the suite's I/O layout).
+fn shards_of(full: &[f32], p: usize) -> Vec<Vec<f32>> {
+    let chunk = full.len() / p;
+    (0..p).map(|x| full[x * chunk..(x + 1) * chunk].to_vec()).collect()
+}
+
+/// Acceptance scenario: every kind of the suite resolves through
+/// `Schedule::Auto`, runs through the serving front-end in mixed-kind
+/// batches, and produces its kind's reference semantics.
+#[test]
+fn all_suite_kinds_serve_end_to_end_with_auto_schedules() {
+    let (p, b) = (4u32, 16u32);
+    let chunk = (b / p) as usize;
+    let full = deterministic_inputs(p as usize, b as usize);
+    let reduced = expected_reduce(&full, ReduceOp::Sum);
+    let shards = shards_of(&full[0], p as usize);
+
+    // (request, inputs, expected outputs in result-PE order)
+    type TrafficItem = (CollectiveRequest, Vec<Vec<f32>>, Vec<Vec<f32>>);
+    let traffic: Vec<TrafficItem> = vec![
+        (
+            CollectiveRequest::reduce_scatter(Topology::line(p), b),
+            full.clone(),
+            shards_of(&reduced, p as usize),
+        ),
+        (
+            CollectiveRequest::allgather(Topology::line(p), b),
+            shards.clone(),
+            vec![full[0].clone(); p as usize],
+        ),
+        (CollectiveRequest::gather(Topology::line(p), b), shards.clone(), vec![full[0].clone()]),
+        (CollectiveRequest::scatter(Topology::line(p), b), vec![full[0].clone()], shards.clone()),
+        (
+            CollectiveRequest::all_to_all(Topology::line(p), b),
+            full.clone(),
+            expected_all_to_all(&full, chunk),
+        ),
+        // The established kinds ride in the same batches.
+        (CollectiveRequest::allreduce(Topology::line(p), b), full.clone(), {
+            vec![reduced.clone(); p as usize]
+        }),
+    ];
+
+    let service = CollectiveService::new();
+    let handles: Vec<ResponseHandle> = traffic
+        .iter()
+        .flat_map(|(request, inputs, _)| {
+            // Submit each kind twice so the second hit reuses the cached plan.
+            (0..2).map(|_| service.submit(*request, inputs.clone()).unwrap())
+        })
+        .collect();
+    let responses: Vec<Response> = handles.into_iter().map(ResponseHandle::wait).collect();
+    let stats = service.shutdown();
+    assert_eq!(stats.completed as usize, responses.len());
+
+    for (i, response) in responses.iter().enumerate() {
+        let (request, _, expected) = &traffic[i / 2];
+        assert_eq!(request.schedule, Schedule::Auto);
+        let outcome = response.result.as_ref().unwrap_or_else(|e| {
+            panic!("served {:?} failed: {e}", request.kind);
+        });
+        assert_eq!(outcome.outputs.len(), expected.len(), "{:?}", request.kind);
+        for ((_, got), want) in outcome.outputs.iter().zip(expected) {
+            assert_eq!(got, want, "{:?}", request.kind);
+        }
+    }
+}
+
+/// The suite's shared layout lets the mlp-style pipeline chain collectives
+/// directly: Scatter's outputs feed ReduceScatter-shaped compute, whose
+/// outputs feed AllGather, with no host-side reshuffling between calls.
+#[test]
+fn scatter_reduce_scatter_allgather_chain_without_reshuffling() {
+    let (p, b) = (6u32, 24u32);
+    let mut session = Session::new();
+    let full = deterministic_inputs(p as usize, b as usize);
+
+    let scattered =
+        session.run(&CollectiveRequest::scatter(Topology::line(p), b), &full[..1]).unwrap();
+    let rs = session.run(&CollectiveRequest::reduce_scatter(Topology::line(p), b), &full).unwrap();
+    let gathered_in: Vec<Vec<f32>> = rs.outputs.iter().map(|(_, s)| s.clone()).collect();
+    let ag =
+        session.run(&CollectiveRequest::allgather(Topology::line(p), b), &gathered_in).unwrap();
+
+    let reduced = expected_reduce(&full, ReduceOp::Sum);
+    for (_, out) in &ag.outputs {
+        assert_eq!(out, &reduced);
+    }
+    let scatter_back: Vec<Vec<f32>> = scattered.outputs.iter().map(|(_, s)| s.clone()).collect();
+    let back =
+        session.run(&CollectiveRequest::gather(Topology::line(p), b), &scatter_back).unwrap();
+    assert_eq!(back.outputs[0].1, full[0]);
+}
+
+fn op_strategy() -> impl Strategy<Value = ReduceOp> {
+    prop_oneof![Just(ReduceOp::Sum), Just(ReduceOp::Max), Just(ReduceOp::Min), Just(ReduceOp::Prod)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Satellite acceptance: a ReduceScatter followed by an AllGather on the
+    /// same line is *byte-identical* to a single Ring AllReduce — exactly
+    /// equal outputs (same ring, same floating-point accumulation order),
+    /// and cycle totals within the phase accounting: the split pays one
+    /// extra rotation round (the shard-homing Store rotation) plus one
+    /// pipeline start-up per run.
+    #[test]
+    fn reduce_scatter_then_allgather_is_byte_identical_to_allreduce(
+        p in 2u32..12,
+        chunk in 1u32..24,
+        op in op_strategy(),
+        reference_engine in proptest::bool::ANY,
+        seed in 0u64..1_000_000,
+    ) {
+        let b = p * chunk;
+        let engine = if reference_engine { EngineKind::Reference } else { EngineKind::Fast };
+        let config = RunConfig::default().with_engine(engine);
+        let machine = Machine::wse2();
+        let inputs: Vec<Vec<f32>> = (0..p as usize)
+            .map(|i| {
+                (0..b as usize)
+                    .map(|j| {
+                        let x = seed
+                            .wrapping_mul(0x9E3779B97F4A7C15)
+                            .wrapping_add((i * 4096 + j) as u64);
+                        ((x >> 40) as f32) / 65536.0 + 0.5
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let rs_request = CollectiveRequest::reduce_scatter(Topology::line(p), b).with_op(op);
+        let ag_request = CollectiveRequest::allgather(Topology::line(p), b);
+        let ar_request = CollectiveRequest::allreduce(Topology::line(p), b)
+            .with_op(op)
+            .with_schedule(Schedule::AllReduce1d(AllReducePattern::Ring));
+
+        let rs = run_plan(&rs_request.resolve(&machine).unwrap().plan, &inputs, &config).unwrap();
+        // Chain the shards directly — no reshuffling.
+        let shards: Vec<Vec<f32>> = rs.outputs.iter().map(|(_, s)| s.clone()).collect();
+        let ag = run_plan(&ag_request.resolve(&machine).unwrap().plan, &shards, &config).unwrap();
+        let ar = run_plan(&ar_request.resolve(&machine).unwrap().plan, &inputs, &config).unwrap();
+
+        // Outputs: exactly equal, not merely close.
+        prop_assert_eq!(ag.outputs.len(), ar.outputs.len());
+        for ((at, got), (at_ar, want)) in ag.outputs.iter().zip(&ar.outputs) {
+            prop_assert_eq!(at, at_ar);
+            let got_bits: Vec<u32> = got.iter().map(|v| v.to_bits()).collect();
+            let want_bits: Vec<u32> = want.iter().map(|v| v.to_bits()).collect();
+            prop_assert!(got_bits == want_bits, "p={} b={} op={:?}", p, b, op);
+        }
+
+        // Cycles: the split runs 2p - 1 rounds where the fused AllReduce
+        // runs 2(p - 1), and pays a second pipeline ramp-up; both effects
+        // are bounded by one chunk plus per-PE constants.
+        let split = rs.runtime_cycles() + ag.runtime_cycles();
+        let fused = ar.runtime_cycles();
+        let slack = chunk as u64 + 8 * p as u64 + 64;
+        prop_assert!(
+            split >= fused && split - fused <= slack,
+            "p={} chunk={}: split {} vs fused {} (slack {})",
+            p, chunk, split, fused, slack
+        );
+    }
+
+    /// Every suite kind, on random shapes, through a session with plan-cache
+    /// reuse: second runs must be byte-identical to first runs.
+    #[test]
+    fn suite_kinds_are_deterministic_across_cache_hits(
+        p in 2u32..10,
+        chunk in 1u32..12,
+        kind_code in 0u32..5,
+    ) {
+        let b = p * chunk;
+        let request = match kind_code {
+            0 => CollectiveRequest::reduce_scatter(Topology::line(p), b),
+            1 => CollectiveRequest::allgather(Topology::line(p), b),
+            2 => CollectiveRequest::gather(Topology::line(p), b),
+            3 => CollectiveRequest::scatter(Topology::line(p), b),
+            _ => CollectiveRequest::all_to_all(Topology::line(p), b),
+        };
+        let sources = match request.kind {
+            CollectiveKind::Scatter => 1,
+            CollectiveKind::AllGather | CollectiveKind::Gather => p as usize,
+            _ => p as usize,
+        };
+        let inputs = match request.kind {
+            CollectiveKind::AllGather | CollectiveKind::Gather => {
+                shards_of(&deterministic_inputs(1, b as usize)[0], p as usize)
+            }
+            _ => deterministic_inputs(sources, b as usize),
+        };
+        let mut session = Session::new();
+        let first = session.run(&request, &inputs).unwrap();
+        let second = session.run(&request, &inputs).unwrap();
+        prop_assert_eq!(session.stats().plan_hits, 1);
+        prop_assert_eq!(&first.outputs, &second.outputs);
+        prop_assert_eq!(&first.report, &second.report);
+    }
+}

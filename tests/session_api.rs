@@ -49,6 +49,34 @@ fn one_session_many_requests_amortises_plan_generation() {
 }
 
 #[test]
+fn with_root_is_rejected_on_rootless_collectives() {
+    // The symmetric kinds have no root; offering one is a typed error the
+    // caller sees immediately, before any session or service involvement.
+    let rootless = [
+        CollectiveRequest::allreduce(Topology::line(4), 8),
+        CollectiveRequest::reduce_scatter(Topology::line(4), 8),
+        CollectiveRequest::allgather(Topology::line(4), 8),
+        CollectiveRequest::all_to_all(Topology::line(4), 8),
+    ];
+    for request in rootless {
+        let err = request.with_root(Coord::new(0, 0)).unwrap_err();
+        assert_eq!(err, CollectiveError::RootlessCollective { kind: request.kind });
+        assert!(err.to_string().contains("no root"), "{err}");
+    }
+
+    // Rooted kinds accept the canonical root and still run end to end.
+    let mut session = Session::new();
+    let request = CollectiveRequest::gather(Topology::line(4), 8)
+        .with_root(Coord::new(0, 0))
+        .expect("Gather is rooted");
+    let full = deterministic_inputs(1, 8).remove(0);
+    let shards: Vec<Vec<f32>> = full.chunks(2).map(<[f32]>::to_vec).collect();
+    let outcome = session.run(&request, &shards).unwrap();
+    assert_eq!(outcome.outputs.len(), 1);
+    assert_eq!(outcome.outputs[0].1, full);
+}
+
+#[test]
 fn auto_schedules_cache_the_model_choice() {
     let mut session = Session::new();
     let request = CollectiveRequest::allreduce(Topology::line(32), 256);
