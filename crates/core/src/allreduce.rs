@@ -54,6 +54,22 @@ impl AllReducePattern {
             A::Ring | A::Butterfly => AllReducePattern::Ring,
         }
     }
+
+    /// The corresponding model-side algorithm label.
+    ///
+    /// `Ring` maps to the model's Ring (never the Butterfly): the plan
+    /// actually built is the ring, so that is the honest prediction.
+    pub fn model_algorithm(&self) -> wse_model::AllReduce1dAlgorithm {
+        use wse_model::AllReduce1dAlgorithm as A;
+        match self {
+            Self::ReduceBroadcast(ReducePattern::Star) => A::StarBcast,
+            Self::ReduceBroadcast(ReducePattern::Chain) => A::ChainBcast,
+            Self::ReduceBroadcast(ReducePattern::Tree) => A::TreeBcast,
+            Self::ReduceBroadcast(ReducePattern::TwoPhase) => A::TwoPhaseBcast,
+            Self::ReduceBroadcast(ReducePattern::AutoGen) => A::AutoGenBcast,
+            Self::Ring => A::Ring,
+        }
+    }
 }
 
 /// Build a 1D AllReduce plan for a row of `p` PEs.

@@ -139,6 +139,18 @@ impl SharedPlanCache {
         Ok((resolved, ResolveOutcome { hit: false, evictions }))
     }
 
+    /// Look up a cached plan **without generating on a miss** (and without
+    /// touching LRU recency — a peek is an observation, not a use).
+    ///
+    /// This is the admission controller's view of the cache: the submit path
+    /// wants a warm plan's recorded model choice when one exists, but must
+    /// never pay for plan generation itself.
+    pub(crate) fn peek(&self, request: &CollectiveRequest) -> Option<Arc<ResolvedPlan>> {
+        let shard = self.shard_for(request);
+        let guard = self.lock(shard);
+        guard.entries.get(request).map(|(plan, _)| Arc::clone(plan))
+    }
+
     /// Number of plans currently cached across all shards.
     pub(crate) fn len(&self) -> usize {
         (0..SHARD_COUNT).map(|shard| self.lock(shard).len()).sum()
@@ -235,6 +247,21 @@ mod tests {
             }
         });
         assert_eq!(cache.len(), 8);
+    }
+
+    #[test]
+    fn peek_never_generates_and_never_touches_recency() {
+        let cache = SharedPlanCache::default();
+        let machine = Machine::wse2();
+        assert!(cache.peek(&request(8)).is_none());
+        assert_eq!(cache.len(), 0, "a cold peek must not generate a plan");
+        let (resolved, _) = cache.resolve(&request(8), &machine, 4).unwrap();
+        let peeked = cache.peek(&request(8)).expect("warm peek hits");
+        assert!(Arc::ptr_eq(&resolved, &peeked));
+        let tick_before = cache.lock(cache.shard_for(&request(8))).tick;
+        cache.peek(&request(8));
+        let tick_after = cache.lock(cache.shard_for(&request(8))).tick;
+        assert_eq!(tick_before, tick_after, "peeks are not LRU uses");
     }
 
     #[test]

@@ -78,6 +78,17 @@ pub enum CollectiveError {
         /// The supplied vector's length.
         got: usize,
     },
+    /// The cost model prices the request above the service's per-request
+    /// admission ceiling (`AdmissionConfig::max_predicted_cycles`): the
+    /// request is rejected at submission, before any plan is built or any
+    /// fabric is touched — the serving analogue of an out-of-gas
+    /// transaction.
+    OverBudget {
+        /// The model's predicted runtime for the request, in cycles.
+        predicted: u64,
+        /// The service's per-request ceiling, in cycles.
+        limit: u64,
+    },
     /// A service's bounded submission queue is at capacity — the caller is
     /// being backpressured. Retry later, or use the blocking
     /// `CollectiveService::submit` to wait for a slot instead.
@@ -135,6 +146,13 @@ impl std::fmt::Display for CollectiveError {
                     "input vector {index} has {got} elements, the plan's vector length is {expected}"
                 )
             }
+            CollectiveError::OverBudget { predicted, limit } => {
+                write!(
+                    f,
+                    "request rejected by admission control: predicted {predicted} cycles \
+                     exceeds the per-request ceiling of {limit}"
+                )
+            }
             CollectiveError::QueueFull { capacity } => {
                 write!(f, "the submission queue is full ({capacity} requests queued)")
             }
@@ -182,6 +200,9 @@ mod tests {
         assert!(e.to_string().contains("64"));
         let e = CollectiveError::QueueFull { capacity: 128 };
         assert!(e.to_string().contains("128 requests"));
+        let e = CollectiveError::OverBudget { predicted: 9000, limit: 4096 };
+        assert!(e.to_string().contains("9000 cycles"));
+        assert!(e.to_string().contains("ceiling of 4096"));
         assert!(CollectiveError::ServiceStopped.to_string().contains("shut down"));
         let e = CollectiveError::RootlessCollective { kind: CollectiveKind::AllReduce };
         assert!(e.to_string().contains("AllReduce"));

@@ -62,6 +62,24 @@ impl BatchItem {
     }
 }
 
+/// A batch item whose noise-run index was assigned by the caller — the
+/// execution form used by the admission-controlled serving path, where
+/// indices are stamped at *admission* time so cost-aware reordering cannot
+/// change which thermal-noise realization an item sees.
+#[derive(Debug, Clone)]
+pub struct StampedItem {
+    /// The request and its inputs.
+    pub item: BatchItem,
+    /// The noise-run index this item executes under (see
+    /// [`Executor::reserve_run_index`]). Ignored for items that fail
+    /// preparation — an invalid item never touches a fabric.
+    pub run_index: u64,
+    /// The cost model's predicted cycles stamped at admission, if the
+    /// admission layer priced this item; measured against the run's actual
+    /// cycles to feed [`PredictionSummary`].
+    pub predicted_cycles: Option<u64>,
+}
+
 /// Configuration of an [`Executor`].
 #[derive(Debug, Clone)]
 pub struct ExecutorConfig {
@@ -106,7 +124,7 @@ impl ExecutorConfig {
 
 /// Counters describing how much work an executor amortised. Mirrors
 /// [`crate::session::SessionStats`] plus the batch count.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct ExecutorStats {
     /// Requests answered from the shared plan cache.
     pub plan_hits: u64,
@@ -124,6 +142,29 @@ pub struct ExecutorStats {
     pub pool_shape_evictions: u64,
     /// Batches executed.
     pub batches: u64,
+    /// How well the cost model's predictions track measured runtimes, over
+    /// the runs that carried a prediction stamp ([`Executor::run_stamped`]).
+    pub prediction: PredictionSummary,
+}
+
+/// Predicted-vs-measured cycle accounting: how far the admission layer's
+/// cost-model predictions drift from the cycles the fabric actually took.
+///
+/// Fed by [`Executor::run_stamped`] from each run's measured
+/// [`wse_fabric::RunReport`] cycles against the prediction stamped at
+/// admission. An executor that never runs stamped work (admission disabled)
+/// reports zero samples.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PredictionSummary {
+    /// Stamped runs accounted so far.
+    pub samples: u64,
+    /// Mean of `predicted − measured` in cycles over all samples: positive
+    /// when the model over-prices work, negative when it under-prices.
+    pub mean_signed_error_cycles: f64,
+    /// 99th-percentile (nearest-rank) of `|predicted − measured| /
+    /// measured`, over a sliding window of the most recent
+    /// [`PREDICTION_WINDOW`] samples.
+    pub p99_abs_relative_error: f64,
 }
 
 /// Lock-free accumulators behind [`ExecutorStats`]: workers bump these
@@ -152,6 +193,55 @@ impl AtomicStats {
             fabrics_created: self.fabrics_created.load(Ordering::Relaxed),
             pool_shape_evictions: self.pool_shape_evictions.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
+            prediction: PredictionSummary::default(),
+        }
+    }
+}
+
+/// Sliding-window size for the p99 relative-error percentile — the same
+/// bound the serving latency histogram uses.
+pub const PREDICTION_WINDOW: usize = 8192;
+
+/// Accumulator behind [`PredictionSummary`]: a running signed-error sum for
+/// the mean plus a bounded ring of recent relative errors for the
+/// percentile. Mutex-guarded — stamped runs record one sample each, so the
+/// critical section is two float writes, never a sort.
+#[derive(Debug, Default)]
+struct PredictionState {
+    samples: u64,
+    signed_error_sum: f64,
+    rel_window: Vec<f64>,
+    next: usize,
+}
+
+impl PredictionState {
+    fn record(&mut self, predicted: u64, measured: u64) {
+        self.samples += 1;
+        self.signed_error_sum += predicted as f64 - measured as f64;
+        // Relative error against the measured cycles, clamping the
+        // denominator so a (theoretical) zero-cycle run cannot poison the
+        // window with a NaN/inf.
+        let rel = (predicted as f64 - measured as f64).abs() / (measured.max(1) as f64);
+        if self.rel_window.len() < PREDICTION_WINDOW {
+            self.rel_window.push(rel);
+        } else {
+            self.rel_window[self.next] = rel;
+            self.next = (self.next + 1) % PREDICTION_WINDOW;
+        }
+    }
+
+    fn summary(&self) -> PredictionSummary {
+        if self.samples == 0 {
+            return PredictionSummary::default();
+        }
+        let mut sorted = self.rel_window.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        // Nearest-rank p99, mirroring the serving latency percentiles.
+        let rank = ((sorted.len() as f64 * 0.99).ceil() as usize).clamp(1, sorted.len());
+        PredictionSummary {
+            samples: self.samples,
+            mean_signed_error_cycles: self.signed_error_sum / self.samples as f64,
+            p99_abs_relative_error: sorted[rank - 1],
         }
     }
 }
@@ -295,6 +385,7 @@ pub struct Executor {
     cache: SharedPlanCache,
     pool: FabricPool,
     stats: AtomicStats,
+    prediction: Mutex<PredictionState>,
     run_counter: AtomicU64,
 }
 
@@ -324,6 +415,7 @@ impl Executor {
             cache: SharedPlanCache::default(),
             pool: FabricPool::default(),
             stats: AtomicStats::default(),
+            prediction: Mutex::new(PredictionState::default()),
             run_counter: AtomicU64::new(0),
         }
     }
@@ -335,7 +427,9 @@ impl Executor {
 
     /// Amortisation counters accumulated so far.
     pub fn stats(&self) -> ExecutorStats {
-        self.stats.snapshot()
+        let mut stats = self.stats.snapshot();
+        stats.prediction = self.lock_prediction().summary();
+        stats
     }
 
     /// Number of plans currently in the shared cache.
@@ -372,6 +466,57 @@ impl Executor {
             self.stats.plan_evictions.fetch_add(outcome.evictions, Ordering::Relaxed);
         }
         Ok(plan)
+    }
+
+    /// Look up a request's plan in the shared cache **without generating on
+    /// a miss** (and without touching LRU recency or the hit/miss counters).
+    ///
+    /// This is the admission controller's prediction source on the submit
+    /// path: a warm plan's recorded model [`wse_model::Choice`] prices the
+    /// request for free, and a cold request falls back to the pure cost
+    /// model ([`CollectiveRequest::predicted_cycles`]) — plan generation is
+    /// never pulled onto the submit path.
+    pub fn cached_plan(&self, request: &CollectiveRequest) -> Option<Arc<ResolvedPlan>> {
+        self.cache.peek(request)
+    }
+
+    /// Claim the next noise-run index. The admission-controlled serving path
+    /// stamps each *valid* item as it is admitted (then executes it via
+    /// [`Executor::run_stamped`]); [`Executor::run_batch`] claims indices
+    /// from the same counter, so the two entry points can share an executor
+    /// without replaying noise streams.
+    pub fn reserve_run_index(&self) -> u64 {
+        self.run_counter.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Execute a batch whose noise-run indices (and optional cost
+    /// predictions) were stamped by the caller, returning one result per
+    /// item, in item order.
+    ///
+    /// The cost-aware scheduler reorders items between admission and
+    /// execution; because each item carries its own index, reordering (or
+    /// splitting a window into several batches) never changes the noise
+    /// realization an item sees. Successful runs with a stamped prediction
+    /// feed [`ExecutorStats::prediction`].
+    pub fn run_stamped(&self, batch: &[StampedItem]) -> Vec<Result<RunOutcome, CollectiveError>> {
+        let n = batch.len();
+        self.stats.batches.fetch_add(1, Ordering::Relaxed);
+        let workers = self.worker_count(n);
+        let prepared = parallel_map(n, workers, |i| self.prepare(&batch[i].item));
+        let results = parallel_map(n, workers, |i| match &prepared[i] {
+            Ok(resolved) => self.execute_one(resolved, &batch[i].item.inputs, batch[i].run_index),
+            Err(error) => Err(error.clone()),
+        });
+        for (stamped, result) in batch.iter().zip(&results) {
+            if let (Some(predicted), Ok(outcome)) = (stamped.predicted_cycles, result) {
+                self.lock_prediction().record(predicted, outcome.runtime_cycles());
+            }
+        }
+        results
+    }
+
+    fn lock_prediction(&self) -> std::sync::MutexGuard<'_, PredictionState> {
+        self.prediction.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
     /// Execute a batch of independent requests in parallel, returning one
@@ -723,6 +868,90 @@ mod tests {
         let follow_up = executor.run_batch(&[good.clone(), good]);
         assert!(follow_up.iter().all(Result::is_ok));
         assert_eq!(executor.stats().runs, 5);
+    }
+
+    #[test]
+    fn stamped_batches_match_run_batch_under_any_execution_order() {
+        // The same items executed via run_stamped — in a *different* order,
+        // but with the indices run_batch would have assigned — must produce
+        // the exact same per-item results: the noise stream follows the
+        // stamp, not the execution position.
+        let mut config = SessionConfig::default();
+        config.run.noise = Some(NoiseModel::new(0.1, 9));
+        let batch: Vec<BatchItem> = (0..5)
+            .map(|i| {
+                BatchItem::new(
+                    CollectiveRequest::reduce(Topology::line(6), 16 + i),
+                    inputs(6, 16 + i as usize),
+                )
+            })
+            .collect();
+        let reference = Executor::with_session_config(config.clone()).run_batch(&batch);
+
+        let executor = Executor::with_session_config(config);
+        let mut stamped: Vec<StampedItem> = batch
+            .iter()
+            .map(|item| StampedItem {
+                item: item.clone(),
+                run_index: executor.reserve_run_index(),
+                predicted_cycles: None,
+            })
+            .collect();
+        stamped.reverse();
+        let mut results = executor.run_stamped(&stamped);
+        results.reverse();
+        assert_equivalent(&results, &reference);
+    }
+
+    #[test]
+    fn stamped_predictions_feed_the_drift_summary() {
+        let executor = Executor::new();
+        let item = BatchItem::new(CollectiveRequest::reduce(Topology::line(8), 32), inputs(8, 32));
+        let measured =
+            executor.run_batch(std::slice::from_ref(&item))[0].as_ref().unwrap().runtime_cycles();
+
+        // One exact prediction, one double: mean signed error is half the
+        // measured cycles and the window p99 is the worse (100%) sample.
+        let stamped = vec![
+            StampedItem {
+                item: item.clone(),
+                run_index: executor.reserve_run_index(),
+                predicted_cycles: Some(measured),
+            },
+            StampedItem {
+                item: item.clone(),
+                run_index: executor.reserve_run_index(),
+                predicted_cycles: Some(2 * measured),
+            },
+        ];
+        let results = executor.run_stamped(&stamped);
+        assert!(results.iter().all(Result::is_ok));
+        let summary = executor.stats().prediction;
+        assert_eq!(summary.samples, 2);
+        assert!((summary.mean_signed_error_cycles - measured as f64 / 2.0).abs() < 1e-9);
+        assert!((summary.p99_abs_relative_error - 1.0).abs() < 1e-9);
+
+        // Invalid stamped items contribute neither a run nor a sample.
+        let invalid = StampedItem {
+            item: BatchItem::new(CollectiveRequest::reduce(Topology::line(8), 0), inputs(8, 32)),
+            run_index: 0,
+            predicted_cycles: Some(1),
+        };
+        let results = executor.run_stamped(&[invalid]);
+        assert!(matches!(results[0], Err(CollectiveError::InvalidRequest { .. })));
+        assert_eq!(executor.stats().prediction.samples, 2);
+    }
+
+    #[test]
+    fn cached_plan_peeks_without_generating() {
+        let executor = Executor::new();
+        let request = CollectiveRequest::reduce(Topology::line(8), 16);
+        assert!(executor.cached_plan(&request).is_none());
+        assert_eq!(executor.cached_plans(), 0, "a peek must not generate");
+        assert_eq!(executor.stats().plan_misses, 0, "a peek is not a cache miss");
+        executor.run_batch(&[BatchItem::new(request, inputs(8, 16))]);
+        let peeked = executor.cached_plan(&request).expect("warm peek hits");
+        assert!(peeked.choice.is_some());
     }
 
     #[test]

@@ -118,12 +118,14 @@ pub use collectives::{
     scatter_line_plan,
 };
 pub use error::CollectiveError;
-pub use executor::{BatchItem, Executor, ExecutorConfig, ExecutorStats};
+pub use executor::{
+    BatchItem, Executor, ExecutorConfig, ExecutorStats, PredictionSummary, StampedItem,
+};
 pub use measured::{measured_run, MeasureConfig, MeasuredRun};
 pub use path::LinePath;
 pub use plan::CollectivePlan;
 pub use reduce::{reduce_1d_plan, reduce_2d_plan, Reduce2dPattern, ReducePattern};
-pub use request::{CollectiveKind, CollectiveRequest, ResolvedPlan, Schedule, Topology};
+pub use request::{CollectiveKind, CollectiveRequest, ResolvedPlan, Schedule, TenantId, Topology};
 pub use runner::{
     assert_outputs_close, expected_reduce, max_relative_error, run_plan, RunConfig, RunOutcome,
 };
@@ -131,8 +133,8 @@ pub use select::{
     select_allreduce_1d, select_allreduce_2d, select_reduce_1d, select_reduce_2d, SelectedPlan,
 };
 pub use serve::{
-    CollectiveService, FlushReason, LatencySummary, Response, ResponseHandle, ServiceConfig,
-    ServiceStats,
+    AdmissionConfig, AdmissionInfo, AdmissionOutcome, BatchOrder, CollectiveService, FlushReason,
+    LatencySummary, Response, ResponseHandle, ServiceConfig, ServiceStats, TenantBudget,
 };
 pub use session::{Session, SessionConfig, SessionStats};
 pub use wse_fabric::EngineKind;
@@ -146,11 +148,15 @@ pub mod prelude {
         scatter_line_plan,
     };
     pub use crate::error::CollectiveError;
-    pub use crate::executor::{BatchItem, Executor, ExecutorConfig, ExecutorStats};
+    pub use crate::executor::{
+        BatchItem, Executor, ExecutorConfig, ExecutorStats, PredictionSummary, StampedItem,
+    };
     pub use crate::path::LinePath;
     pub use crate::plan::CollectivePlan;
     pub use crate::reduce::{reduce_1d_plan, reduce_2d_plan, Reduce2dPattern, ReducePattern};
-    pub use crate::request::{CollectiveKind, CollectiveRequest, ResolvedPlan, Schedule, Topology};
+    pub use crate::request::{
+        CollectiveKind, CollectiveRequest, ResolvedPlan, Schedule, TenantId, Topology,
+    };
     pub use crate::runner::{
         assert_outputs_close, expected_reduce, run_plan, RunConfig, RunOutcome,
     };
@@ -158,7 +164,8 @@ pub mod prelude {
         select_allreduce_1d, select_allreduce_2d, select_reduce_1d, select_reduce_2d,
     };
     pub use crate::serve::{
-        CollectiveService, LatencySummary, Response, ResponseHandle, ServiceConfig, ServiceStats,
+        AdmissionConfig, AdmissionInfo, AdmissionOutcome, BatchOrder, CollectiveService,
+        LatencySummary, Response, ResponseHandle, ServiceConfig, ServiceStats, TenantBudget,
     };
     pub use crate::session::{Session, SessionConfig, SessionStats};
     pub use wse_fabric::geometry::{Coord, GridDim};

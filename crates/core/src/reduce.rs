@@ -169,6 +169,18 @@ impl Reduce2dPattern {
             wse_model::Reduce2dAlgorithm::Snake => Reduce2dPattern::Snake,
         }
     }
+
+    /// The corresponding model-side algorithm label.
+    pub fn model_algorithm(&self) -> wse_model::Reduce2dAlgorithm {
+        match self {
+            Self::Xy(ReducePattern::Star) => wse_model::Reduce2dAlgorithm::XyStar,
+            Self::Xy(ReducePattern::Chain) => wse_model::Reduce2dAlgorithm::XyChain,
+            Self::Xy(ReducePattern::Tree) => wse_model::Reduce2dAlgorithm::XyTree,
+            Self::Xy(ReducePattern::TwoPhase) => wse_model::Reduce2dAlgorithm::XyTwoPhase,
+            Self::Xy(ReducePattern::AutoGen) => wse_model::Reduce2dAlgorithm::XyAutoGen,
+            Self::Snake => wse_model::Reduce2dAlgorithm::Snake,
+        }
+    }
 }
 
 /// Build a 2D Reduce plan over an `height × width` grid, rooted at `(0, 0)`.

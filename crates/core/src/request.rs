@@ -56,6 +56,30 @@ use crate::reduce::{
     reduce_1d_plan, reduce_2d_plan, Reduce2dPattern, ReducePattern, BROADCAST_COLOR,
 };
 
+/// An opaque tenant identity for per-tenant admission budgets.
+///
+/// Tenants are a *submission-side* attribute: a request's results do not
+/// depend on who submitted it, so the tenant is deliberately **not** part of
+/// [`CollectiveRequest`] (which is the plan-cache key — tenants sharing a
+/// request shape must share its cached plan, not fragment the cache). The
+/// serving front-end accepts the tenant next to the request
+/// (`CollectiveService::submit_as`) and meters each tenant's token bucket in
+/// [`crate::serve::AdmissionConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(pub u32);
+
+impl TenantId {
+    /// The tenant unattributed submissions (`submit`/`try_submit`) are
+    /// accounted to.
+    pub const DEFAULT: TenantId = TenantId(0);
+}
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tenant-{}", self.0)
+    }
+}
+
 /// Which collective a request describes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CollectiveKind {
@@ -354,6 +378,183 @@ impl CollectiveRequest {
             }
         }
         Ok(())
+    }
+
+    /// Whether the request's schedule can realise its kind on its topology —
+    /// the plan-free mirror of the [`CollectiveRequest::resolve`] match. An
+    /// exhaustive test pins the two against each other across every
+    /// kind × topology × schedule combination.
+    fn schedule_fits(&self) -> bool {
+        use CollectiveKind as K;
+        use Schedule as S;
+        use Topology as T;
+        matches!(
+            (self.kind, self.topology, self.schedule),
+            (K::Reduce, T::Line(_), S::Auto | S::Reduce1d(_))
+                | (K::Reduce, T::Grid(_), S::Auto | S::Reduce2d(_))
+                | (K::AllReduce, T::Line(_), S::Auto | S::AllReduce1d(_))
+                | (K::AllReduce, T::Grid(_), S::Auto | S::AllReduce2d(_) | S::AllReduceXy(_))
+                | (K::Broadcast, _, S::Auto)
+                | (K::ReduceScatter, T::Line(_), S::Auto | S::ReduceScatterRing)
+                | (K::AllGather, T::Line(_), S::Auto | S::AllGatherRing)
+                | (K::Gather, T::Line(_), S::Auto | S::GatherLine)
+                | (K::Scatter, T::Line(_), S::Auto | S::ScatterLine)
+                | (K::AllToAll, T::Line(_), S::Auto | S::AllToAllRotate)
+        )
+    }
+
+    /// The request's input contract without building a plan: how many input
+    /// vectors a caller must supply and the length of each (the `input per
+    /// PE x` column of the table in the [module docs](self)).
+    ///
+    /// Validates the request first, so the shard division below is exact.
+    pub fn input_shape(&self) -> Result<(usize, u32), CollectiveError> {
+        self.validate()?;
+        let p = self.topology.num_pes();
+        Ok(match self.kind {
+            // Rooted single-source kinds: one full vector at the root.
+            CollectiveKind::Broadcast | CollectiveKind::Scatter => (1, self.vector_len),
+            // Sharded-input kinds: one chunk per PE (validate() guarantees
+            // divisibility).
+            CollectiveKind::AllGather | CollectiveKind::Gather => (p, self.vector_len / p as u32),
+            // Full-vector-per-PE kinds.
+            CollectiveKind::Reduce
+            | CollectiveKind::AllReduce
+            | CollectiveKind::ReduceScatter
+            | CollectiveKind::AllToAll => (p, self.vector_len),
+        })
+    }
+
+    /// Check, **without building a plan**, whether this request and these
+    /// inputs would execute: parameter validation, schedule compatibility
+    /// and the per-kind input contract, reporting the same typed error (and
+    /// checking in the same order) as the plan-building path
+    /// ([`CollectiveRequest::resolve`] followed by input validation against
+    /// the plan).
+    ///
+    /// This is the admission layer's validity oracle: the serving front-end
+    /// must know *at submission time* whether an item will consume a
+    /// noise-run index — exactly the items a [`crate::session::Session`]
+    /// would execute — and it must know without paying for plan generation
+    /// on the submit path.
+    pub fn check_submission(&self, inputs: &[Vec<f32>]) -> Result<(), CollectiveError> {
+        self.validate()?;
+        if !self.schedule_fits() {
+            return Err(CollectiveError::ScheduleMismatch {
+                kind: self.kind,
+                topology: self.topology,
+                schedule: self.schedule,
+            });
+        }
+        let (count, len) = self.input_shape()?;
+        if inputs.len() != count {
+            return Err(CollectiveError::InputCountMismatch { expected: count, got: inputs.len() });
+        }
+        for (index, input) in inputs.iter().enumerate() {
+            if input.len() != len as usize {
+                return Err(CollectiveError::InputLengthMismatch {
+                    index,
+                    expected: len,
+                    got: input.len(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The model's predicted runtime for this request in cycles, **without
+    /// building a plan** — the pure §1.3 "model" step, cheap enough for a
+    /// serving submit path.
+    ///
+    /// [`Schedule::Auto`] returns the same prediction the resolved plan
+    /// would carry ([`ResolvedPlan::predicted_cycles`]); explicit schedules
+    /// are priced via their model-side algorithm, so cost-aware scheduling
+    /// covers them too (a resolved explicit plan records no choice). Invalid
+    /// requests and mismatched schedules return the same typed errors as
+    /// [`CollectiveRequest::resolve`].
+    pub fn predicted_cycles(&self, machine: &Machine) -> Result<f64, CollectiveError> {
+        self.validate()?;
+        if !self.schedule_fits() {
+            return Err(CollectiveError::ScheduleMismatch {
+                kind: self.kind,
+                topology: self.topology,
+                schedule: self.schedule,
+            });
+        }
+        let b = self.vector_len as u64;
+        Ok(match (self.kind, self.topology, self.schedule) {
+            (CollectiveKind::Reduce, Topology::Line(p), schedule) => match schedule {
+                Schedule::Reduce1d(pattern) => {
+                    pattern.model_algorithm().cycles(p as u64, b, machine, None)
+                }
+                _ => selection::choose_reduce_1d(p as u64, b, machine).predicted_cycles,
+            },
+            (CollectiveKind::Reduce, Topology::Grid(dim), schedule) => {
+                let (m, n) = (dim.height as u64, dim.width as u64);
+                match schedule {
+                    Schedule::Reduce2d(pattern) => {
+                        pattern.model_algorithm().cycles(m, n, b, machine, None, None)
+                    }
+                    _ => selection::choose_reduce_2d(m, n, b, machine).predicted_cycles,
+                }
+            }
+            (CollectiveKind::AllReduce, Topology::Line(p), schedule) => match schedule {
+                Schedule::AllReduce1d(pattern) => {
+                    pattern.model_algorithm().cycles(p as u64, b, machine, None)
+                }
+                _ => selection::choose_allreduce_1d(p as u64, b, machine).predicted_cycles,
+            },
+            (CollectiveKind::AllReduce, Topology::Grid(dim), schedule) => {
+                let (m, n) = (dim.height as u64, dim.width as u64);
+                match schedule {
+                    Schedule::AllReduce2d(pattern) => {
+                        pattern.model_algorithm().allreduce_cycles(m, n, b, machine, None, None)
+                    }
+                    Schedule::AllReduceXy(pattern) => {
+                        // Per-axis Reduce-then-Broadcast with the given 1D
+                        // pattern (§7.4), including Auto-Gen phases (which
+                        // the fixed-phase `costs_2d::xy_allreduce` excludes).
+                        let alg = pattern.model_algorithm();
+                        let x = alg.cycles(n, b, machine, None);
+                        let y = alg.cycles(m, b, machine, None);
+                        wse_model::costs_1d::reduce_then_broadcast(x, n, b, machine)
+                            + wse_model::costs_1d::reduce_then_broadcast(y, m, b, machine)
+                    }
+                    _ => selection::choose_allreduce_2d(m, n, b, machine).predicted_cycles,
+                }
+            }
+            (CollectiveKind::Broadcast, Topology::Line(p), _) => {
+                selection::choose_broadcast_1d(p as u64, b, machine).predicted_cycles
+            }
+            (CollectiveKind::Broadcast, Topology::Grid(dim), _) => {
+                selection::choose_broadcast_2d(dim.height as u64, dim.width as u64, b, machine)
+                    .predicted_cycles
+            }
+            (CollectiveKind::ReduceScatter, Topology::Line(p), _) => {
+                selection::choose_reduce_scatter_1d(p as u64, b, machine).predicted_cycles
+            }
+            (CollectiveKind::AllGather, Topology::Line(p), _) => {
+                selection::choose_allgather_1d(p as u64, b, machine).predicted_cycles
+            }
+            (CollectiveKind::Gather, Topology::Line(p), _) => {
+                selection::choose_gather_1d(p as u64, b, machine).predicted_cycles
+            }
+            (CollectiveKind::Scatter, Topology::Line(p), _) => {
+                selection::choose_scatter_1d(p as u64, b, machine).predicted_cycles
+            }
+            (CollectiveKind::AllToAll, Topology::Line(p), _) => {
+                selection::choose_all_to_all_1d(p as u64, b, machine).predicted_cycles
+            }
+            (
+                CollectiveKind::ReduceScatter
+                | CollectiveKind::AllGather
+                | CollectiveKind::Gather
+                | CollectiveKind::Scatter
+                | CollectiveKind::AllToAll,
+                Topology::Grid(_),
+                _,
+            ) => unreachable!("validate() rejects suite kinds on grid topologies"),
+        })
     }
 
     /// Resolve the request into an executable plan (uncached).
@@ -774,5 +975,204 @@ mod tests {
         let data = inputs(4, 4098);
         let outcome = run_plan(&resolved.plan, &data, &RunConfig::default()).unwrap();
         assert_outputs_close(&outcome, &expected_reduce(&data, ReduceOp::Sum), 1e-3);
+    }
+
+    fn request_for(kind: CollectiveKind, topology: Topology, vector_len: u32) -> CollectiveRequest {
+        CollectiveRequest {
+            kind,
+            topology,
+            vector_len,
+            op: ReduceOp::Sum,
+            schedule: Schedule::Auto,
+            root: Coord::new(0, 0),
+        }
+    }
+
+    /// One representative schedule per `Schedule` variant family, including
+    /// the Auto-Gen patterns (whose predictions require a solver).
+    fn schedule_matrix() -> Vec<Schedule> {
+        vec![
+            Schedule::Auto,
+            Schedule::Reduce1d(ReducePattern::Star),
+            Schedule::Reduce1d(ReducePattern::AutoGen),
+            Schedule::Reduce2d(Reduce2dPattern::Xy(ReducePattern::Chain)),
+            Schedule::Reduce2d(Reduce2dPattern::Snake),
+            Schedule::AllReduce1d(AllReducePattern::ReduceBroadcast(ReducePattern::Tree)),
+            Schedule::AllReduce1d(AllReducePattern::Ring),
+            Schedule::AllReduce2d(Reduce2dPattern::Xy(ReducePattern::TwoPhase)),
+            Schedule::AllReduceXy(ReducePattern::AutoGen),
+            Schedule::ReduceScatterRing,
+            Schedule::AllGatherRing,
+            Schedule::GatherLine,
+            Schedule::ScatterLine,
+            Schedule::AllToAllRotate,
+        ]
+    }
+
+    fn kind_matrix() -> [CollectiveKind; 8] {
+        [
+            CollectiveKind::Reduce,
+            CollectiveKind::AllReduce,
+            CollectiveKind::Broadcast,
+            CollectiveKind::ReduceScatter,
+            CollectiveKind::AllGather,
+            CollectiveKind::Gather,
+            CollectiveKind::Scatter,
+            CollectiveKind::AllToAll,
+        ]
+    }
+
+    #[test]
+    fn check_submission_mirrors_the_plan_building_path() {
+        let m = machine();
+        // b = 16 divides the line's p = 4 (valid suite requests); b = 13
+        // exercises the divisibility rejections; b = 0 the basic validation.
+        for kind in kind_matrix() {
+            for topology in [Topology::line(4), Topology::grid(2, 3)] {
+                for schedule in schedule_matrix() {
+                    for b in [16u32, 13, 0] {
+                        let request = request_for(kind, topology, b).with_schedule(schedule);
+                        // Candidate input sets: the contract shape (when one
+                        // exists), an off-by-one count, an off-by-one length
+                        // and a generic junk shape.
+                        let mut candidates = vec![vec![vec![0.0f32; 3]; 2]];
+                        if let Ok((count, len)) = request.input_shape() {
+                            candidates.push(vec![vec![0.0; len as usize]; count]);
+                            candidates.push(vec![vec![0.0; len as usize]; count + 1]);
+                            let mut long = vec![vec![0.0; len as usize]; count];
+                            long[0].push(0.0);
+                            candidates.push(long);
+                        }
+                        for inputs in candidates {
+                            let via_plan = request
+                                .resolve(&m)
+                                .and_then(|r| crate::runner::check_inputs(&r.plan, &inputs));
+                            let plan_free = request.check_submission(&inputs);
+                            assert_eq!(
+                                plan_free,
+                                via_plan,
+                                "check_submission diverges from resolve+check_inputs for \
+                                 {request:?} with {} inputs",
+                                inputs.len()
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn predicted_cycles_matches_resolution_for_auto_and_errors_in_step() {
+        let m = machine();
+        for kind in kind_matrix() {
+            for topology in [Topology::line(4), Topology::grid(2, 3)] {
+                for schedule in schedule_matrix() {
+                    for b in [16u32, 13, 0] {
+                        let request = request_for(kind, topology, b).with_schedule(schedule);
+                        match (request.predicted_cycles(&m), request.resolve(&m)) {
+                            (Ok(predicted), Ok(resolved)) => {
+                                assert!(
+                                    predicted.is_finite() && predicted >= 0.0,
+                                    "{request:?} predicted {predicted}"
+                                );
+                                // Auto predictions must equal the choice the
+                                // resolved plan records.
+                                if let Some(from_plan) = resolved.predicted_cycles() {
+                                    assert_eq!(
+                                        predicted, from_plan,
+                                        "plan-free prediction diverges for {request:?}"
+                                    );
+                                }
+                            }
+                            (Err(a), Err(b)) => {
+                                assert_eq!(a, b, "error mismatch for {request:?}")
+                            }
+                            (a, b) => panic!(
+                                "predicted_cycles and resolve disagree on viability for \
+                                 {request:?}: {a:?} vs {:?}",
+                                b.map(|r| r.algorithm)
+                            ),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_predictions_never_beat_the_auto_choice() {
+        let m = machine();
+        // Auto minimises over the same candidate families the explicit
+        // schedules come from, so an explicit pick can tie but never win.
+        let cases = [
+            (
+                CollectiveRequest::reduce(Topology::line(12), 64),
+                Schedule::Reduce1d(ReducePattern::Star),
+            ),
+            (
+                CollectiveRequest::reduce(Topology::line(12), 64),
+                Schedule::Reduce1d(ReducePattern::AutoGen),
+            ),
+            (
+                CollectiveRequest::reduce(Topology::grid(4, 5), 32),
+                Schedule::Reduce2d(Reduce2dPattern::Snake),
+            ),
+            (
+                CollectiveRequest::allreduce(Topology::line(8), 64),
+                Schedule::AllReduce1d(AllReducePattern::Ring),
+            ),
+            (
+                CollectiveRequest::allreduce(Topology::grid(3, 4), 16),
+                Schedule::AllReduce2d(Reduce2dPattern::Xy(ReducePattern::Chain)),
+            ),
+        ];
+        for (auto_request, explicit) in cases {
+            let auto = auto_request.predicted_cycles(&m).unwrap();
+            let pinned = auto_request.with_schedule(explicit).predicted_cycles(&m).unwrap();
+            assert!(
+                pinned >= auto - 1e-9,
+                "explicit {explicit:?} predicts {pinned}, beating Auto's {auto}"
+            );
+        }
+        // The XY AllReduce is not in Auto's candidate set; its prediction
+        // just has to be a sane positive number.
+        let xy = CollectiveRequest::allreduce(Topology::grid(3, 4), 16)
+            .with_schedule(Schedule::AllReduceXy(ReducePattern::Tree))
+            .predicted_cycles(&m)
+            .unwrap();
+        assert!(xy.is_finite() && xy > 0.0);
+    }
+
+    #[test]
+    fn input_shape_matches_the_resolved_plan_contract() {
+        let m = machine();
+        let (p, b) = (4u32, 16u32);
+        let cases = [
+            CollectiveRequest::reduce(Topology::line(p), b),
+            CollectiveRequest::allreduce(Topology::line(p), b),
+            CollectiveRequest::broadcast(Topology::line(p), b),
+            CollectiveRequest::broadcast(Topology::grid(2, 3), b),
+            CollectiveRequest::reduce_scatter(Topology::line(p), b),
+            CollectiveRequest::allgather(Topology::line(p), b),
+            CollectiveRequest::gather(Topology::line(p), b),
+            CollectiveRequest::scatter(Topology::line(p), b),
+            CollectiveRequest::all_to_all(Topology::line(p), b),
+        ];
+        for request in cases {
+            let (count, len) = request.input_shape().unwrap();
+            let plan = request.resolve(&m).unwrap().plan;
+            assert_eq!(count, plan.data_pes().len(), "{:?} input count", request.kind);
+            for (_, expected) in plan.input_specs() {
+                assert_eq!(len, *expected, "{:?} input length", request.kind);
+            }
+        }
+    }
+
+    #[test]
+    fn tenant_ids_order_and_display() {
+        assert_eq!(TenantId::DEFAULT, TenantId(0));
+        assert!(TenantId(1) < TenantId(2));
+        assert_eq!(TenantId(7).to_string(), "tenant-7");
     }
 }

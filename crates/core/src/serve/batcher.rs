@@ -1,4 +1,4 @@
-//! Deadline/size batch formation.
+//! Deadline/size/cost batch formation.
 //!
 //! The batcher accumulates submitted requests and flushes a batch to the
 //! executor when either trigger fires:
@@ -9,12 +9,24 @@
 //!   item arrived (tail latency under light load: a lone request is never
 //!   held longer than the batch window).
 //!
+//! With an active admission policy ([`Batcher::with_policy`]) the flush is
+//! additionally *cost-aware*: items carry the predicted cycles stamped at
+//! admission, the cut can order them shortest-predicted-first
+//! ([`BatchOrder::ShortestPredictedFirst`], stable — arrival order breaks
+//! ties), and `max_batch_cycles` stops the cut when the batch's summed
+//! predicted cycles would exceed the cap (always taking at least one item,
+//! so progress is guaranteed). Items left behind by a capped cut keep their
+//! original arrival times, so the deadline stays anchored at the oldest
+//! *remaining* item and a cut-out request cannot wait a whole extra window.
+//!
 //! The accumulator is pure state driven by explicit [`Instant`]s — the
 //! service thread feeds it the real clock, the unit tests feed it a
 //! deterministic one — so the flush conditions are testable without timing
 //! races.
 
 use std::time::{Duration, Instant};
+
+use super::admit::BatchOrder;
 
 /// Why a batch was flushed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,61 +39,141 @@ pub enum FlushReason {
     Shutdown,
 }
 
+/// One accumulated item with the cost metadata the cut policy needs.
+#[derive(Debug)]
+struct Entry<T> {
+    item: T,
+    /// Predicted cycles (0 on the plain, cost-blind path).
+    cost: u64,
+    arrived: Instant,
+}
+
 /// The deadline/size accumulator. Generic over the item type so the flush
 /// logic can be unit-tested with plain values.
 #[derive(Debug)]
 pub(crate) struct Batcher<T> {
     max_batch: usize,
     max_wait: Duration,
-    items: Vec<T>,
-    opened_at: Option<Instant>,
+    order: BatchOrder,
+    max_batch_cycles: Option<u64>,
+    entries: Vec<Entry<T>>,
 }
 
 impl<T> Batcher<T> {
+    /// A plain FIFO batcher with no cycle cap (the PR 6 behavior).
     pub(crate) fn new(max_batch: usize, max_wait: Duration) -> Self {
-        Batcher { max_batch: max_batch.max(1), max_wait, items: Vec::new(), opened_at: None }
+        Batcher::with_policy(max_batch, max_wait, BatchOrder::Fifo, None)
+    }
+
+    /// A batcher cutting batches under an admission policy: `order` decides
+    /// how a cut is ordered, `max_batch_cycles` where it stops.
+    pub(crate) fn with_policy(
+        max_batch: usize,
+        max_wait: Duration,
+        order: BatchOrder,
+        max_batch_cycles: Option<u64>,
+    ) -> Self {
+        Batcher {
+            max_batch: max_batch.max(1),
+            max_wait,
+            order,
+            max_batch_cycles,
+            entries: Vec::new(),
+        }
     }
 
     /// Number of accumulated (not yet flushed) items.
     #[cfg(test)]
     pub(crate) fn len(&self) -> usize {
-        self.items.len()
+        self.entries.len()
     }
 
     /// Accept an item arriving at `now`; returns a full batch if this item
     /// completed one (the size trigger).
     pub(crate) fn push(&mut self, item: T, now: Instant) -> Option<(Vec<T>, FlushReason)> {
-        if self.items.is_empty() {
-            self.opened_at = Some(now);
-        }
-        self.items.push(item);
-        (self.items.len() >= self.max_batch).then(|| (self.take(), FlushReason::Size))
+        self.push_costed(item, 0, now);
+        (self.entries.len() >= self.max_batch).then(|| self.cut(FlushReason::Size))
+    }
+
+    /// Accept an item with its predicted cost, without flushing — the
+    /// admission-aware service loop drives flushes through
+    /// [`Batcher::flush_ready`] so a cycle-capped cut can leave a remainder.
+    pub(crate) fn push_costed(&mut self, item: T, cost: u64, now: Instant) {
+        self.entries.push(Entry { item, cost, arrived: now });
     }
 
     /// The instant at which the current partial batch must flush: `max_wait`
     /// after its oldest item arrived. `None` while the accumulator is empty
     /// (nothing is waiting, so there is nothing to deadline).
     pub(crate) fn deadline(&self) -> Option<Instant> {
-        self.opened_at.map(|opened_at| opened_at + self.max_wait)
+        self.entries.iter().map(|entry| entry.arrived).min().map(|oldest| oldest + self.max_wait)
+    }
+
+    /// Cut a batch if a trigger is due at `now`: size first, then deadline.
+    /// Call in a loop — a cycle-capped cut can leave a still-due remainder.
+    pub(crate) fn flush_ready(&mut self, now: Instant) -> Option<(Vec<T>, FlushReason)> {
+        if self.entries.len() >= self.max_batch {
+            return Some(self.cut(FlushReason::Size));
+        }
+        match self.deadline() {
+            Some(deadline) if now >= deadline => Some(self.cut(FlushReason::Deadline)),
+            _ => None,
+        }
     }
 
     /// Flush the partial batch if its deadline has passed at `now`.
     pub(crate) fn flush_due(&mut self, now: Instant) -> Option<(Vec<T>, FlushReason)> {
         match self.deadline() {
-            Some(deadline) if now >= deadline => Some((self.take(), FlushReason::Deadline)),
+            Some(deadline) if now >= deadline => Some(self.cut(FlushReason::Deadline)),
             _ => None,
         }
     }
 
-    /// Flush whatever is accumulated, regardless of deadline (shutdown
-    /// drain). `None` when empty.
+    /// Flush accumulated items regardless of deadline (shutdown drain);
+    /// `None` when empty. Call in a loop when a cycle cap is set — each cut
+    /// honours the cap, so the drain may take several batches.
     pub(crate) fn flush_remaining(&mut self) -> Option<(Vec<T>, FlushReason)> {
-        (!self.items.is_empty()).then(|| (self.take(), FlushReason::Shutdown))
+        (!self.entries.is_empty()).then(|| self.cut(FlushReason::Shutdown))
     }
 
-    fn take(&mut self) -> Vec<T> {
-        self.opened_at = None;
-        std::mem::take(&mut self.items)
+    /// Cut one batch out of the accumulator under the configured policy.
+    ///
+    /// The cut visits items in policy order (arrival, or stable
+    /// shortest-cost-first) and stops at `max_batch` items or where adding
+    /// the next item would push the summed cost over `max_batch_cycles` —
+    /// but always takes at least one item. FIFO with a cap *stops* rather
+    /// than skips past an oversized head: admitting later items around it
+    /// would silently reorder a policy whose contract is arrival order.
+    /// Unselected items stay accumulated with their original arrival times.
+    fn cut(&mut self, reason: FlushReason) -> (Vec<T>, FlushReason) {
+        let mut visit: Vec<usize> = (0..self.entries.len()).collect();
+        if self.order == BatchOrder::ShortestPredictedFirst {
+            // Stable: equal costs keep arrival order.
+            visit.sort_by_key(|&index| self.entries[index].cost);
+        }
+        let mut selected = Vec::new();
+        let mut cycles: u64 = 0;
+        for &index in &visit {
+            if selected.len() >= self.max_batch {
+                break;
+            }
+            let cost = self.entries[index].cost;
+            if let Some(cap) = self.max_batch_cycles {
+                if !selected.is_empty() && cycles.saturating_add(cost) > cap {
+                    break;
+                }
+            }
+            selected.push(index);
+            cycles = cycles.saturating_add(cost);
+        }
+        let mut slots: Vec<Option<Entry<T>>> =
+            std::mem::take(&mut self.entries).into_iter().map(Some).collect();
+        let batch = selected
+            .iter()
+            .map(|&index| slots[index].take().expect("cut indices are distinct").item)
+            .collect();
+        self.entries = slots.into_iter().flatten().collect();
+        (batch, reason)
     }
 }
 
@@ -150,5 +242,71 @@ mod tests {
         let mut batcher = Batcher::new(1, WAIT);
         let (batch, reason) = batcher.push(9u8, at(base, 0)).unwrap();
         assert_eq!((batch, reason), (vec![9], FlushReason::Size));
+    }
+
+    /// SJF cut: items leave shortest-predicted-first, arrival order breaking
+    /// ties, and the flush trigger itself is unchanged.
+    #[test]
+    fn shortest_predicted_first_orders_the_cut_stably() {
+        let base = Instant::now();
+        let mut batcher = Batcher::with_policy(16, WAIT, BatchOrder::ShortestPredictedFirst, None);
+        batcher.push_costed('a', 500, at(base, 0));
+        batcher.push_costed('b', 20, at(base, 1));
+        batcher.push_costed('c', 500, at(base, 2));
+        batcher.push_costed('d', 5, at(base, 3));
+        assert!(batcher.flush_ready(at(base, 9)).is_none(), "not due before the deadline");
+        let (batch, reason) = batcher.flush_ready(at(base, 10)).expect("deadline due");
+        assert_eq!(batch, vec!['d', 'b', 'a', 'c'], "cost order; equal costs keep arrival order");
+        assert_eq!(reason, FlushReason::Deadline);
+    }
+
+    /// The cycle cap cuts the batch early; the remainder stays accumulated
+    /// with its original arrival anchoring and flushes in a follow-up cut.
+    #[test]
+    fn max_batch_cycles_cuts_and_the_remainder_keeps_its_deadline() {
+        let base = Instant::now();
+        let mut batcher =
+            Batcher::with_policy(16, WAIT, BatchOrder::ShortestPredictedFirst, Some(100));
+        batcher.push_costed(1u32, 60, at(base, 0));
+        batcher.push_costed(2u32, 1000, at(base, 1));
+        batcher.push_costed(3u32, 30, at(base, 2));
+        let (batch, _) = batcher.flush_ready(at(base, 10)).expect("deadline due");
+        assert_eq!(batch, vec![3, 1], "30 + 60 fits under 100; 1000 does not");
+        // The oversized item is still anchored at its arrival: due already.
+        assert_eq!(batcher.deadline(), Some(at(base, 11)));
+        let (batch, _) = batcher.flush_ready(at(base, 11)).expect("remainder still due");
+        assert_eq!(batch, vec![2], "an over-cap item still flushes alone");
+        assert_eq!(batcher.len(), 0);
+    }
+
+    /// FIFO with a cap stops at an oversized head instead of skipping past
+    /// it — a FIFO policy must never reorder.
+    #[test]
+    fn fifo_cycle_cap_never_reorders_around_an_expensive_head() {
+        let base = Instant::now();
+        let mut batcher = Batcher::with_policy(16, WAIT, BatchOrder::Fifo, Some(100));
+        batcher.push_costed("big", 90, at(base, 0));
+        batcher.push_costed("mid", 50, at(base, 1));
+        batcher.push_costed("sml", 10, at(base, 2));
+        let (batch, _) = batcher.flush_ready(at(base, 10)).expect("deadline due");
+        assert_eq!(batch, vec!["big"], "90 + 50 would exceed the cap; FIFO does not skip");
+        let (batch, _) = batcher.flush_ready(at(base, 11)).expect("remainder due");
+        assert_eq!(batch, vec!["mid", "sml"]);
+    }
+
+    /// A capped shutdown drain takes several cuts but loses nothing.
+    #[test]
+    fn capped_shutdown_drain_takes_multiple_batches() {
+        let base = Instant::now();
+        let mut batcher = Batcher::with_policy(16, WAIT, BatchOrder::Fifo, Some(50));
+        for (index, cost) in [40u64, 40, 40].into_iter().enumerate() {
+            batcher.push_costed(index, cost, at(base, index as u64));
+        }
+        let mut drained = Vec::new();
+        while let Some((batch, reason)) = batcher.flush_remaining() {
+            assert_eq!(reason, FlushReason::Shutdown);
+            drained.extend(batch);
+        }
+        assert_eq!(drained, vec![0, 1, 2]);
     }
 }

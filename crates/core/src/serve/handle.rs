@@ -12,6 +12,7 @@ use std::time::Duration;
 
 use crate::error::CollectiveError;
 use crate::runner::RunOutcome;
+use crate::serve::admit::AdmissionInfo;
 
 /// The completed form of a submitted request.
 #[derive(Debug, Clone)]
@@ -22,6 +23,11 @@ pub struct Response {
     /// Wall-clock time from submission (enqueue) to completion, including
     /// queueing, batching delay and execution.
     pub latency: Duration,
+    /// How admission control handled the request: `None` when the service
+    /// runs without an active [`crate::serve::AdmissionConfig`], `Some`
+    /// with the tenant, predicted cycles, deferral outcome and stamped
+    /// noise-run index otherwise.
+    pub admission: Option<AdmissionInfo>,
 }
 
 /// The shared slot a batcher fulfils and a handle observes.
@@ -121,6 +127,7 @@ mod tests {
         Response {
             result: Err(CollectiveError::ServiceStopped), // any result works for slot tests
             latency: Duration::from_micros(micros),
+            admission: None,
         }
     }
 

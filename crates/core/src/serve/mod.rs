@@ -22,7 +22,13 @@
 //!   no accepted request is ever dropped;
 //! * [`ServiceStats`] ([`stats`]) exposes queue depth, batch formation
 //!   (count, flush reasons, size histogram) and enqueue-to-complete
-//!   latency (p50/p99/mean/max).
+//!   latency (p50/p99/mean/max);
+//! * an optional **admission layer** ([`admit`]) prices every submission
+//!   with the paper's cost model *before* it is queued and enforces a
+//!   per-request cycle ceiling, per-tenant token-bucket budgets (deferring,
+//!   not dropping, over-budget tenants) and cost-aware batch formation
+//!   (shortest-predicted-job-first, per-batch cycle caps). The default
+//!   [`AdmissionConfig::disabled`] keeps the plain path below untouched.
 //!
 //! ## Determinism
 //!
@@ -34,6 +40,15 @@
 //! happened to be cut into batches, and including rejected requests (which
 //! consume no run index on either path). The integration proptests submit
 //! under randomised batch windows and verify exactly this.
+//!
+//! With an active admission policy the invariant generalises: each item's
+//! noise-run index is stamped when it enters the batch accumulator (its
+//! *admission* to execution order — deferral releases and queue pops
+//! interleave there), and [`crate::executor::Executor::run_stamped`]
+//! honours the stamp through any cost-aware reordering. Responses are then
+//! byte-identical to a sequential session running the requests in
+//! admission order, which the handles expose via
+//! [`AdmissionInfo::run_index`].
 //!
 //! ```
 //! use std::time::Duration;
@@ -61,11 +76,13 @@
 //! assert!(stats.batches >= 2, "16 requests cannot fit one batch of 8");
 //! ```
 
+pub mod admit;
 pub mod batcher;
 pub mod handle;
 pub mod queue;
 pub mod stats;
 
+pub use admit::{AdmissionConfig, AdmissionInfo, AdmissionOutcome, BatchOrder, TenantBudget};
 pub use batcher::FlushReason;
 pub use handle::{Response, ResponseHandle};
 pub use stats::{LatencySummary, ServiceStats};
@@ -74,9 +91,10 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::error::CollectiveError;
-use crate::executor::{BatchItem, Executor, ExecutorConfig, ExecutorStats};
-use crate::request::CollectiveRequest;
+use crate::executor::{BatchItem, Executor, ExecutorConfig, ExecutorStats, StampedItem};
+use crate::request::{CollectiveRequest, TenantId};
 
+use admit::{AdmissionController, Charge, DeferError};
 use batcher::Batcher;
 use handle::ResponseSlot;
 use queue::{Popped, SubmissionQueue, TryPushError};
@@ -98,6 +116,11 @@ pub struct ServiceConfig {
     /// even if it is not full — the tail-latency bound a lone request pays
     /// under light load.
     pub max_wait: Duration,
+    /// Admission control and cost-aware scheduling policy (see [`admit`]).
+    /// The default, [`AdmissionConfig::disabled`], keeps the service on the
+    /// plain path: no predictions are computed at submit, batches are cut
+    /// FIFO, and responses carry no admission info.
+    pub admission: AdmissionConfig,
 }
 
 impl Default for ServiceConfig {
@@ -107,6 +130,7 @@ impl Default for ServiceConfig {
             queue_capacity: 256,
             max_batch: 16,
             max_wait: Duration::from_micros(500),
+            admission: AdmissionConfig::disabled(),
         }
     }
 }
@@ -129,6 +153,49 @@ struct Pending {
     inputs: Vec<Vec<f32>>,
     slot: Arc<ResponseSlot>,
     submitted_at: Instant,
+    /// Admission metadata, present only when the service runs with an
+    /// active [`AdmissionConfig`] (the plain path pays nothing for it).
+    admit: Option<AdmitMeta>,
+}
+
+/// What the admission layer resolved about a request at submission, carried
+/// alongside it to execution.
+#[derive(Debug)]
+struct AdmitMeta {
+    tenant: TenantId,
+    /// Predicted cycles (warm plan choice, else the pure cost model).
+    /// `None` when no prediction was computable (malformed request).
+    predicted: Option<u64>,
+    /// Whether [`CollectiveRequest::check_submission`] accepted the
+    /// request+inputs — i.e. whether execution will consume a noise-run
+    /// index. Resolved plan-free at submit.
+    valid: bool,
+    /// The noise-run index, stamped when the item enters the batch
+    /// accumulator (its admission to execution order), `None` until then
+    /// and for invalid items forever.
+    run_index: Option<u64>,
+    /// Time spent in the deferred queue, set when a deferral is released.
+    deferred_wait: Option<Duration>,
+}
+
+impl AdmitMeta {
+    /// Cycles charged against the tenant's bucket: the prediction for items
+    /// that will execute, zero for items that will be rejected at execution
+    /// (they consume no fabric time).
+    fn charge_cost(&self) -> u64 {
+        if self.valid {
+            self.predicted.unwrap_or(0)
+        } else {
+            0
+        }
+    }
+}
+
+/// The admission side of the shared state (present only when active).
+#[derive(Debug)]
+struct AdmissionShared {
+    config: AdmissionConfig,
+    controller: AdmissionController<Pending>,
 }
 
 /// State shared between submitters and the batcher thread.
@@ -139,6 +206,7 @@ struct Shared {
     stats: StatsRecorder,
     max_batch: usize,
     max_wait: Duration,
+    admission: Option<AdmissionShared>,
 }
 
 /// A continuously serving collective front-end. See the [module
@@ -169,12 +237,17 @@ impl CollectiveService {
     /// thread immediately; the service accepts requests as soon as this
     /// returns.
     pub fn with_config(config: ServiceConfig) -> Self {
+        let admission = config.admission.is_active().then(|| AdmissionShared {
+            controller: AdmissionController::new(&config.admission),
+            config: config.admission.clone(),
+        });
         let shared = Arc::new(Shared {
             queue: SubmissionQueue::new(config.queue_capacity),
             executor: Executor::with_config(config.executor),
             stats: StatsRecorder::default(),
             max_batch: config.max_batch.max(1),
             max_wait: config.max_wait,
+            admission,
         });
         let batcher = {
             let shared = Arc::clone(&shared);
@@ -191,19 +264,59 @@ impl CollectiveService {
     /// Returns the completion handle immediately once the request is
     /// queued; fails with [`CollectiveError::ServiceStopped`] if the
     /// service has been shut down (including while blocked waiting for a
-    /// slot).
+    /// slot). With an active admission policy this accounts the request to
+    /// [`TenantId::DEFAULT`] — see
+    /// [`submit_as`](CollectiveService::submit_as).
     pub fn submit(
         &self,
         request: CollectiveRequest,
         inputs: Vec<Vec<f32>>,
     ) -> Result<ResponseHandle, CollectiveError> {
-        let (pending, handle) = self.pending(request, inputs);
-        match self.shared.queue.push(pending) {
-            Ok(()) => {
-                self.shared.stats.record_submitted();
-                Ok(handle)
-            }
-            Err(_) => Err(CollectiveError::ServiceStopped),
+        self.submit_as(request, inputs, TenantId::DEFAULT)
+    }
+
+    /// Submit a request on behalf of `tenant`, blocking while the queue is
+    /// at capacity.
+    ///
+    /// With an active admission policy the request is priced by the cost
+    /// model before it is queued (a warm plan's recorded choice when one is
+    /// cached, the pure model otherwise — never a plan generation):
+    ///
+    /// * priced above `max_predicted_cycles` →
+    ///   [`CollectiveError::OverBudget`] immediately;
+    /// * tenant bucket cannot afford it (or the tenant has earlier deferred
+    ///   requests) → the request is **deferred**, the handle is still
+    ///   returned, and the request runs once the budget refills;
+    /// * deferred queue at capacity → [`CollectiveError::QueueFull`] with
+    ///   the deferred capacity.
+    pub fn submit_as(
+        &self,
+        request: CollectiveRequest,
+        inputs: Vec<Vec<f32>>,
+        tenant: TenantId,
+    ) -> Result<ResponseHandle, CollectiveError> {
+        let Some(admission) = &self.shared.admission else {
+            let (pending, handle) = self.pending(request, inputs, None);
+            return match self.shared.queue.push(pending) {
+                Ok(()) => {
+                    self.shared.stats.record_submitted();
+                    Ok(handle)
+                }
+                Err(_) => Err(CollectiveError::ServiceStopped),
+            };
+        };
+        let meta = self.admission_meta(admission, &request, &inputs, tenant)?;
+        let cost = meta.charge_cost();
+        let (pending, handle) = self.pending(request, inputs, Some(meta));
+        match admission.controller.try_charge(tenant, cost, Instant::now()) {
+            Charge::Admitted => match self.shared.queue.push(pending) {
+                Ok(()) => {
+                    self.shared.stats.record_submitted();
+                    Ok(handle)
+                }
+                Err(_) => Err(CollectiveError::ServiceStopped),
+            },
+            Charge::Defer => self.defer(admission, pending, handle, tenant, cost),
         }
     }
 
@@ -212,24 +325,115 @@ impl CollectiveService {
     /// Fails fast with [`CollectiveError::QueueFull`] when the queue is at
     /// capacity (the backpressure signal — retry later or fall back to the
     /// blocking [`submit`](CollectiveService::submit)), or
-    /// [`CollectiveError::ServiceStopped`] after shutdown.
+    /// [`CollectiveError::ServiceStopped`] after shutdown. With an active
+    /// admission policy this accounts the request to [`TenantId::DEFAULT`].
     pub fn try_submit(
         &self,
         request: CollectiveRequest,
         inputs: Vec<Vec<f32>>,
     ) -> Result<ResponseHandle, CollectiveError> {
-        let (pending, handle) = self.pending(request, inputs);
-        match self.shared.queue.try_push(pending) {
+        self.try_submit_as(request, inputs, TenantId::DEFAULT)
+    }
+
+    /// Submit a request on behalf of `tenant` without blocking. Admission
+    /// behaves as in [`submit_as`](CollectiveService::submit_as); a charge
+    /// rolled back by a full queue is refunded to the tenant's bucket.
+    pub fn try_submit_as(
+        &self,
+        request: CollectiveRequest,
+        inputs: Vec<Vec<f32>>,
+        tenant: TenantId,
+    ) -> Result<ResponseHandle, CollectiveError> {
+        let Some(admission) = &self.shared.admission else {
+            let (pending, handle) = self.pending(request, inputs, None);
+            return match self.shared.queue.try_push(pending) {
+                Ok(()) => {
+                    self.shared.stats.record_submitted();
+                    Ok(handle)
+                }
+                Err(TryPushError::Full(_)) => {
+                    self.shared.stats.record_rejected();
+                    Err(CollectiveError::QueueFull { capacity: self.shared.queue.capacity() })
+                }
+                Err(TryPushError::Closed(_)) => Err(CollectiveError::ServiceStopped),
+            };
+        };
+        let meta = self.admission_meta(admission, &request, &inputs, tenant)?;
+        let cost = meta.charge_cost();
+        let (pending, handle) = self.pending(request, inputs, Some(meta));
+        match admission.controller.try_charge(tenant, cost, Instant::now()) {
+            Charge::Admitted => match self.shared.queue.try_push(pending) {
+                Ok(()) => {
+                    self.shared.stats.record_submitted();
+                    Ok(handle)
+                }
+                Err(TryPushError::Full(_)) => {
+                    admission.controller.refund(tenant, cost, Instant::now());
+                    self.shared.stats.record_rejected();
+                    Err(CollectiveError::QueueFull { capacity: self.shared.queue.capacity() })
+                }
+                Err(TryPushError::Closed(_)) => Err(CollectiveError::ServiceStopped),
+            },
+            Charge::Defer => self.defer(admission, pending, handle, tenant, cost),
+        }
+    }
+
+    /// Park a request the tenant cannot currently afford in the deferred
+    /// queue, kicking the batcher so it recomputes its release deadline.
+    fn defer(
+        &self,
+        admission: &AdmissionShared,
+        pending: Pending,
+        handle: ResponseHandle,
+        tenant: TenantId,
+        cost: u64,
+    ) -> Result<ResponseHandle, CollectiveError> {
+        match admission.controller.defer(tenant, cost, pending, Instant::now()) {
             Ok(()) => {
                 self.shared.stats.record_submitted();
+                self.shared.stats.record_deferred();
+                self.shared.queue.kick();
                 Ok(handle)
             }
-            Err(TryPushError::Full(_)) => {
-                self.shared.stats.record_rejected();
-                Err(CollectiveError::QueueFull { capacity: self.shared.queue.capacity() })
+            Err(DeferError::Overflow(_)) => {
+                self.shared.stats.record_deferral_overflow();
+                Err(CollectiveError::QueueFull { capacity: admission.config.deferred_capacity })
             }
-            Err(TryPushError::Closed(_)) => Err(CollectiveError::ServiceStopped),
+            Err(DeferError::Closed(_)) => Err(CollectiveError::ServiceStopped),
         }
+    }
+
+    /// Resolve the admission metadata for one submission: plan-free
+    /// validity, the predicted cycles, and the per-request ceiling. The
+    /// ceiling applies only to requests that would actually execute —
+    /// invalid ones flow through to their handles so callers get the
+    /// specific typed error rather than a budget rejection.
+    fn admission_meta(
+        &self,
+        admission: &AdmissionShared,
+        request: &CollectiveRequest,
+        inputs: &[Vec<f32>],
+        tenant: TenantId,
+    ) -> Result<AdmitMeta, CollectiveError> {
+        let valid = request.check_submission(inputs).is_ok();
+        let predicted = self
+            .shared
+            .executor
+            .cached_plan(request)
+            .and_then(|plan| plan.predicted_cycles())
+            .or_else(|| request.predicted_cycles(self.shared.executor.machine()).ok())
+            .map(|cycles| cycles.max(0.0).ceil() as u64);
+        if valid {
+            if let (Some(predicted), Some(limit)) =
+                (predicted, admission.config.max_predicted_cycles)
+            {
+                if predicted > limit {
+                    self.shared.stats.record_over_budget();
+                    return Err(CollectiveError::OverBudget { predicted, limit });
+                }
+            }
+        }
+        Ok(AdmitMeta { tenant, predicted, valid, run_index: None, deferred_wait: None })
     }
 
     /// A point-in-time snapshot of the service's counters.
@@ -260,9 +464,10 @@ impl CollectiveService {
         &self,
         request: CollectiveRequest,
         inputs: Vec<Vec<f32>>,
+        admit: Option<AdmitMeta>,
     ) -> (Pending, ResponseHandle) {
         let (handle, slot) = ResponseHandle::new();
-        (Pending { request, inputs, slot, submitted_at: Instant::now() }, handle)
+        (Pending { request, inputs, slot, submitted_at: Instant::now(), admit }, handle)
     }
 }
 
@@ -273,8 +478,12 @@ impl Drop for CollectiveService {
 }
 
 /// The batcher thread: pop → accumulate → flush on size/deadline → execute,
-/// until the queue is closed and drained.
+/// until the queue is closed and drained. Dispatches to the admission-aware
+/// loop when a policy is active.
 fn batcher_loop(shared: &Shared) {
+    if let Some(admission) = &shared.admission {
+        return admission_batcher_loop(shared, admission);
+    }
     let mut batcher: Batcher<Pending> = Batcher::new(shared.max_batch, shared.max_wait);
     loop {
         match shared.queue.pop(batcher.deadline()) {
@@ -300,6 +509,105 @@ fn batcher_loop(shared: &Shared) {
     }
 }
 
+/// The admission-aware batcher loop: release affordable deferrals, stamp
+/// run indices as items enter the accumulator, cut cost-aware batches, and
+/// sleep until the earlier of the batch deadline and the next budget
+/// release.
+fn admission_batcher_loop(shared: &Shared, admission: &AdmissionShared) {
+    let mut batcher: Batcher<Pending> = Batcher::with_policy(
+        shared.max_batch,
+        shared.max_wait,
+        admission.config.order,
+        admission.config.max_batch_cycles,
+    );
+    loop {
+        // Budget releases first: a deferral released now was submitted
+        // before anything still sitting in the queue behind it.
+        ingest_releases(shared, admission, &mut batcher);
+        flush_and_ingest(shared, admission, &mut batcher);
+        let deadline =
+            min_deadline(batcher.deadline(), admission.controller.next_release_at(Instant::now()));
+        match shared.queue.pop(deadline) {
+            Popped::Item(pending) => {
+                accumulate(shared, &mut batcher, pending);
+                flush_and_ingest(shared, admission, &mut batcher);
+            }
+            Popped::TimedOut => {
+                // Deadline or kick: the loop head re-evaluates releases and
+                // due flushes.
+            }
+            Popped::Closed => {
+                // Shutdown: close the controller (no new deferrals can slip
+                // in), force-drain every deferred item regardless of budget
+                // — no accepted request is ever dropped — and flush.
+                admission.controller.close();
+                let now = Instant::now();
+                for (mut pending, wait) in admission.controller.drain(now) {
+                    if let Some(meta) = pending.admit.as_mut() {
+                        meta.deferred_wait = Some(wait);
+                    }
+                    accumulate(shared, &mut batcher, pending);
+                }
+                while let Some((batch, reason)) = batcher.flush_remaining() {
+                    execute_batch_stamped(shared, batch, reason);
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// Move every budget deferral whose release is due into the accumulator.
+fn ingest_releases(shared: &Shared, admission: &AdmissionShared, batcher: &mut Batcher<Pending>) {
+    let now = Instant::now();
+    for (mut pending, wait) in admission.controller.release_due(now) {
+        if let Some(meta) = pending.admit.as_mut() {
+            meta.deferred_wait = Some(wait);
+        }
+        accumulate(shared, batcher, pending);
+    }
+}
+
+/// Flush every ready batch, ingesting work that arrived while each batch
+/// executed — newly due budget releases and anything sitting in the
+/// submission queue — before the next cut. Without this the accumulator's
+/// leftovers (the expensive requests a cost-aware cut passed over) would
+/// execute back-to-back while cheap requests pile up unseen in the queue,
+/// re-creating exactly the head-of-line blocking the policy is meant to
+/// remove.
+fn flush_and_ingest(shared: &Shared, admission: &AdmissionShared, batcher: &mut Batcher<Pending>) {
+    while let Some((batch, reason)) = batcher.flush_ready(Instant::now()) {
+        execute_batch_stamped(shared, batch, reason);
+        ingest_releases(shared, admission, batcher);
+        while let Some(pending) = shared.queue.try_pop() {
+            accumulate(shared, batcher, pending);
+        }
+    }
+}
+
+/// Admit one item to the batch accumulator: stamp its noise-run index (only
+/// items that will execute consume one — this is the moment "admission
+/// order" is defined) and record its predicted cost for the cut policy.
+fn accumulate(shared: &Shared, batcher: &mut Batcher<Pending>, mut pending: Pending) {
+    let mut cost = 0;
+    if let Some(meta) = pending.admit.as_mut() {
+        if meta.valid {
+            meta.run_index = Some(shared.executor.reserve_run_index());
+            cost = meta.predicted.unwrap_or(0);
+        }
+    }
+    batcher.push_costed(pending, cost, Instant::now());
+}
+
+/// The earlier of two optional deadlines.
+fn min_deadline(a: Option<Instant>, b: Option<Instant>) -> Option<Instant> {
+    match (a, b) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, None) => a,
+        (None, b) => b,
+    }
+}
+
 /// Dispatch one formed batch to the executor and fulfil its handles.
 fn execute_batch(shared: &Shared, batch: Vec<Pending>, reason: FlushReason) {
     shared.stats.record_batch(batch.len(), reason);
@@ -316,7 +624,44 @@ fn execute_batch(shared: &Shared, batch: Vec<Pending>, reason: FlushReason) {
     for ((slot, submitted_at), result) in slots.into_iter().zip(results) {
         let latency = completed_at.duration_since(submitted_at);
         shared.stats.record_completion(latency);
-        slot.fulfil(Response { result, latency });
+        slot.fulfil(Response { result, latency, admission: None });
+    }
+}
+
+/// Dispatch one cost-aware batch through the stamped executor entry point
+/// (the pre-assigned run indices survive any reordering) and fulfil each
+/// handle with its admission info.
+fn execute_batch_stamped(shared: &Shared, batch: Vec<Pending>, reason: FlushReason) {
+    shared.stats.record_batch(batch.len(), reason);
+    let mut slots = Vec::with_capacity(batch.len());
+    let items: Vec<StampedItem> = batch
+        .into_iter()
+        .map(|pending| {
+            let Pending { request, inputs, slot, submitted_at, admit } = pending;
+            let meta = admit.expect("admission path always attaches metadata");
+            let info = AdmissionInfo {
+                outcome: match meta.deferred_wait {
+                    Some(wait) => AdmissionOutcome::DeferredThenAdmitted { wait },
+                    None => AdmissionOutcome::Admitted,
+                },
+                tenant: meta.tenant,
+                predicted_cycles: meta.predicted,
+                run_index: meta.run_index,
+            };
+            slots.push((slot, submitted_at, info));
+            StampedItem {
+                item: BatchItem::new(request, inputs),
+                run_index: meta.run_index.unwrap_or(0),
+                predicted_cycles: if meta.valid { meta.predicted } else { None },
+            }
+        })
+        .collect();
+    let results = shared.executor.run_stamped(&items);
+    let completed_at = Instant::now();
+    for ((slot, submitted_at, info), result) in slots.into_iter().zip(results) {
+        let latency = completed_at.duration_since(submitted_at);
+        shared.stats.record_completion(latency);
+        slot.fulfil(Response { result, latency, admission: Some(info) });
     }
 }
 
@@ -413,6 +758,152 @@ mod tests {
             Err(CollectiveError::InputCountMismatch { .. })
         ));
         service.shutdown();
+    }
+
+    #[test]
+    fn disabled_admission_keeps_responses_bare() {
+        let service = CollectiveService::with_config(ServiceConfig {
+            max_wait: Duration::from_micros(100),
+            ..ServiceConfig::default()
+        });
+        let handle = service.submit(reduce_request(4, 8), inputs(4, 8)).unwrap();
+        let response = handle.wait();
+        assert!(response.result.is_ok());
+        assert!(response.admission.is_none(), "no admission info without a policy");
+        let stats = service.shutdown();
+        assert_eq!((stats.over_budget, stats.deferred, stats.deferral_overflow), (0, 0, 0));
+    }
+
+    #[test]
+    fn over_budget_requests_are_rejected_at_submit() {
+        let request = reduce_request(8, 64);
+        let predicted =
+            request.predicted_cycles(&wse_model::Machine::wse2()).unwrap().ceil() as u64;
+        let service = CollectiveService::with_config(ServiceConfig {
+            admission: AdmissionConfig::disabled().with_max_predicted_cycles(predicted - 1),
+            max_wait: Duration::from_micros(100),
+            ..ServiceConfig::default()
+        });
+        match service.submit(request, inputs(8, 64)) {
+            Err(CollectiveError::OverBudget { predicted: got, limit }) => {
+                assert_eq!(got, predicted, "the error reports the model's price");
+                assert_eq!(limit, predicted - 1);
+            }
+            other => panic!("expected OverBudget, got {other:?}"),
+        }
+        // A request at the ceiling is admitted, and its response carries the
+        // prediction that admitted it.
+        let cheap = reduce_request(4, 8);
+        let handle = service.submit(cheap, inputs(4, 8)).unwrap();
+        let response = handle.wait();
+        assert!(response.result.is_ok());
+        let info = response.admission.expect("active admission annotates responses");
+        assert_eq!(info.outcome, AdmissionOutcome::Admitted);
+        assert_eq!(
+            info.predicted_cycles,
+            Some(cheap.predicted_cycles(&wse_model::Machine::wse2()).unwrap().ceil() as u64)
+        );
+        assert_eq!(info.run_index, Some(0), "first executed item claims index 0");
+        let stats = service.shutdown();
+        assert_eq!(stats.over_budget, 1);
+        assert_eq!(stats.submitted, 1, "the rejected request never entered the queue");
+    }
+
+    #[test]
+    fn invalid_requests_bypass_the_ceiling_for_their_typed_error() {
+        // Ceiling of 1 cycle: every valid request is over budget, but an
+        // invalid one still reaches its handle with the specific error.
+        let service = CollectiveService::with_config(ServiceConfig {
+            admission: AdmissionConfig::disabled().with_max_predicted_cycles(1),
+            max_wait: Duration::from_micros(100),
+            ..ServiceConfig::default()
+        });
+        let wrong_inputs = service.submit(reduce_request(4, 4), inputs(3, 4)).unwrap();
+        let response = wrong_inputs.wait();
+        assert!(matches!(response.result, Err(CollectiveError::InputCountMismatch { .. })));
+        let info = response.admission.unwrap();
+        assert_eq!(info.run_index, None, "rejected items consume no noise-run index");
+        service.shutdown();
+    }
+
+    #[test]
+    fn tenant_budgets_defer_until_the_shutdown_drain() {
+        // Zero refill rate: the deferral can only be released by the
+        // shutdown force-drain, which makes the test fully deterministic.
+        let request = reduce_request(6, 16);
+        let predicted =
+            request.predicted_cycles(&wse_model::Machine::wse2()).unwrap().ceil() as u64;
+        let tenant = TenantId(7);
+        let service = CollectiveService::with_config(ServiceConfig {
+            admission: AdmissionConfig::disabled()
+                .with_tenant_budget(tenant, TenantBudget::new(predicted, 0.0))
+                .with_deferred_capacity(1),
+            max_wait: Duration::from_micros(100),
+            ..ServiceConfig::default()
+        });
+        let first = service.submit_as(request, inputs(6, 16), tenant).unwrap();
+        let second = service.submit_as(request, inputs(6, 16), tenant).unwrap();
+        // The bucket is drained and the side queue full: overflow.
+        match service.submit_as(request, inputs(6, 16), tenant) {
+            Err(CollectiveError::QueueFull { capacity }) => assert_eq!(capacity, 1),
+            other => panic!("expected QueueFull from deferral overflow, got {other:?}"),
+        }
+        // An unmetered tenant is unaffected by tenant 7's empty bucket.
+        let other = service.submit_as(request, inputs(6, 16), TenantId(8)).unwrap();
+        assert!(other.wait().result.is_ok());
+
+        let stats = service.shutdown();
+        assert_eq!(stats.deferred, 1);
+        assert_eq!(stats.deferral_overflow, 1);
+        assert_eq!(stats.completed, 3, "the deferred request drained, the overflowed never ran");
+        assert!(first.wait().result.is_ok());
+        let response = second.wait();
+        assert!(response.result.is_ok(), "no accepted request is dropped at shutdown");
+        assert!(matches!(
+            response.admission.unwrap().outcome,
+            AdmissionOutcome::DeferredThenAdmitted { .. }
+        ));
+    }
+
+    #[test]
+    fn sjf_service_still_matches_the_sequential_session() {
+        // Cost-aware reordering with noise on: responses must match a
+        // sequential session replayed in admission (run-index) order.
+        let mut session_config = SessionConfig::default();
+        session_config.run.noise = Some(wse_fabric::NoiseModel::new(0.15, 23));
+        let traffic: Vec<(CollectiveRequest, Vec<Vec<f32>>)> = (0..8)
+            .map(|i| {
+                // Alternate small and large so SJF actually reorders.
+                let (p, b) = if i % 2 == 0 { (4, 8) } else { (8, 32) };
+                (reduce_request(p, b), inputs(p as usize, b as usize))
+            })
+            .collect();
+        let service = CollectiveService::with_config(ServiceConfig {
+            executor: ExecutorConfig {
+                session: session_config.clone(),
+                ..ExecutorConfig::default()
+            },
+            max_batch: 4,
+            max_wait: Duration::from_micros(300),
+            admission: AdmissionConfig::disabled().with_order(BatchOrder::ShortestPredictedFirst),
+            ..ServiceConfig::default()
+        });
+        let handles: Vec<ResponseHandle> = traffic
+            .iter()
+            .map(|(request, data)| service.submit(*request, data.clone()).unwrap())
+            .collect();
+        let served: Vec<Response> = handles.into_iter().map(ResponseHandle::wait).collect();
+        service.shutdown();
+
+        let mut order: Vec<usize> = (0..served.len()).collect();
+        order.sort_by_key(|&i| served[i].admission.unwrap().run_index.unwrap());
+        let mut session = crate::session::Session::with_config(session_config);
+        for &i in &order {
+            let expected = session.run(&traffic[i].0, &traffic[i].1).unwrap();
+            let got = served[i].result.as_ref().unwrap();
+            assert_eq!(got.report, expected.report, "item {i} diverges from admission order");
+            assert_eq!(got.outputs, expected.outputs);
+        }
     }
 
     #[test]

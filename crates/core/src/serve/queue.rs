@@ -36,6 +36,9 @@ pub(crate) enum Popped<T> {
 struct QueueState<T> {
     items: VecDeque<T>,
     closed: bool,
+    /// A consumer wakeup was requested without an item (see
+    /// [`SubmissionQueue::kick`]); cleared when a pop observes it.
+    kicked: bool,
 }
 
 /// A bounded MPSC queue: many submitters, one batcher.
@@ -50,7 +53,7 @@ pub(crate) struct SubmissionQueue<T> {
 impl<T> SubmissionQueue<T> {
     pub(crate) fn new(capacity: usize) -> Self {
         SubmissionQueue {
-            state: Mutex::new(QueueState { items: VecDeque::new(), closed: false }),
+            state: Mutex::new(QueueState { items: VecDeque::new(), closed: false, kicked: false }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             capacity: capacity.max(1),
@@ -112,6 +115,10 @@ impl<T> SubmissionQueue<T> {
             if state.closed {
                 return Popped::Closed;
             }
+            if state.kicked {
+                state.kicked = false;
+                return Popped::TimedOut;
+            }
             match deadline {
                 None => state = self.wait_not_empty(state),
                 Some(deadline) => {
@@ -127,6 +134,29 @@ impl<T> SubmissionQueue<T> {
                 }
             }
         }
+    }
+
+    /// Pop the oldest queued item if one is immediately available, without
+    /// waiting. Used by the batcher to ingest work that arrived while a
+    /// batch executed, so the next cut can reorder it ahead of leftovers.
+    pub(crate) fn try_pop(&self) -> Option<T> {
+        let mut state = self.lock();
+        let item = state.items.pop_front();
+        if item.is_some() {
+            self.not_full.notify_one();
+        }
+        item
+    }
+
+    /// Wake the consumer without enqueueing anything: the next (or a
+    /// currently blocked) [`SubmissionQueue::pop`] on an empty queue
+    /// returns [`Popped::TimedOut`] so the consumer re-evaluates its
+    /// deadlines. Used by the admission layer when a deferral is created
+    /// while the batcher may be sleeping with a stale (or absent) wakeup
+    /// time. Queued items still drain first — a kick never starves work.
+    pub(crate) fn kick(&self) {
+        self.lock().kicked = true;
+        self.not_empty.notify_all();
     }
 
     /// Close the queue: future pushes fail, pops drain what is left and
@@ -197,6 +227,21 @@ mod tests {
         assert!(matches!(queue.pop(None), Popped::Item(1)));
         assert!(matches!(queue.pop(None), Popped::Item(2)));
         assert!(matches!(queue.pop(None), Popped::Closed));
+    }
+
+    #[test]
+    fn kick_wakes_an_idle_consumer_without_an_item() {
+        let queue: SubmissionQueue<u32> = SubmissionQueue::new(4);
+        std::thread::scope(|scope| {
+            let popper = scope.spawn(|| queue.pop(None));
+            std::thread::sleep(Duration::from_millis(2));
+            queue.kick();
+            assert!(matches!(popper.join().unwrap(), Popped::TimedOut));
+        });
+        // Items still take precedence over a pending kick.
+        queue.kick();
+        queue.try_push(7).unwrap();
+        assert!(matches!(queue.pop(None), Popped::Item(7)));
     }
 
     #[test]

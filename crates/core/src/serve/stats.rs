@@ -46,6 +46,14 @@ pub struct ServiceStats {
     pub submitted: u64,
     /// Non-blocking submissions rejected with a full queue (backpressure).
     pub rejected: u64,
+    /// Submissions rejected at admission because the model priced them
+    /// above the per-request cycle ceiling.
+    pub over_budget: u64,
+    /// Submissions deferred to the side queue by a tenant budget (each is
+    /// eventually admitted or drained — deferral is a delay, not a drop).
+    pub deferred: u64,
+    /// Submissions rejected because the deferred side queue was full.
+    pub deferral_overflow: u64,
     /// Requests whose handles have been fulfilled.
     pub completed: u64,
     /// Batches dispatched to the executor.
@@ -98,6 +106,9 @@ struct HistogramState {
 pub(crate) struct StatsRecorder {
     submitted: AtomicU64,
     rejected: AtomicU64,
+    over_budget: AtomicU64,
+    deferred: AtomicU64,
+    deferral_overflow: AtomicU64,
     completed: AtomicU64,
     histogram: Mutex<HistogramState>,
 }
@@ -109,6 +120,18 @@ impl StatsRecorder {
 
     pub(crate) fn record_rejected(&self) {
         self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_over_budget(&self) {
+        self.over_budget.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_deferred(&self) {
+        self.deferred.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_deferral_overflow(&self) {
+        self.deferral_overflow.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record a dispatched batch and its flush reason.
@@ -167,6 +190,9 @@ impl StatsRecorder {
             queue_depth,
             submitted: self.submitted.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
+            over_budget: self.over_budget.load(Ordering::Relaxed),
+            deferred: self.deferred.load(Ordering::Relaxed),
+            deferral_overflow: self.deferral_overflow.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
             batches: state.batches,
             size_flushes: state.size_flushes,
@@ -221,6 +247,21 @@ mod tests {
         assert_eq!(latency.p99, Duration::from_micros(99));
         assert_eq!(latency.max, Duration::from_micros(100));
         assert_eq!(latency.mean, Duration::from_micros(50)); // 50.5 truncated
+    }
+
+    #[test]
+    fn admission_counters_are_independent() {
+        let recorder = StatsRecorder::default();
+        recorder.record_over_budget();
+        recorder.record_deferred();
+        recorder.record_deferred();
+        recorder.record_deferral_overflow();
+        let stats = recorder.snapshot(0);
+        assert_eq!(stats.over_budget, 1);
+        assert_eq!(stats.deferred, 2);
+        assert_eq!(stats.deferral_overflow, 1);
+        assert_eq!(stats.submitted, 0);
+        assert_eq!(stats.rejected, 0);
     }
 
     #[test]

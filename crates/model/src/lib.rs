@@ -74,6 +74,6 @@ pub use autogen::{AutogenSolver, ReductionTree};
 pub use cost::CostTerms;
 pub use machine::Machine;
 pub use selection::{
-    AllReduce1dAlgorithm, Choice, ChosenAlgorithm, Reduce1dAlgorithm, Reduce2dAlgorithm,
-    Suite1dAlgorithm,
+    AllReduce1dAlgorithm, BroadcastAlgorithm, Choice, ChosenAlgorithm, Reduce1dAlgorithm,
+    Reduce2dAlgorithm, Suite1dAlgorithm,
 };

@@ -264,6 +264,31 @@ impl Suite1dAlgorithm {
     }
 }
 
+/// The Broadcast algorithms. Broadcast has a single mesh-native candidate
+/// per topology — the flooding broadcast of §4.2/§7.1, which multicast makes
+/// as cheap as one message — so, like [`Suite1dAlgorithm`], selection is a
+/// single-candidate [`Choice`]. The enum exists so *every* collective kind
+/// has a plan-free prediction entry point (`choose_broadcast_*`), which is
+/// what lets a serving front-end price a request on its submit path without
+/// building a plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BroadcastAlgorithm {
+    /// The 1D flooding broadcast along a line (§4.2).
+    Flood1d,
+    /// The 2D flooding broadcast over a grid (§7.1).
+    Flood2d,
+}
+
+impl BroadcastAlgorithm {
+    /// Name as used in plan names and bench output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Flood1d => "Flood",
+            Self::Flood2d => "2D Flood",
+        }
+    }
+}
+
 /// Result of a best-algorithm query.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Best<A> {
@@ -289,6 +314,8 @@ pub enum ChosenAlgorithm {
     AllReduce2d(Reduce2dAlgorithm),
     /// A 1D algorithm of the inference collective suite.
     Suite1d(Suite1dAlgorithm),
+    /// A flooding Broadcast (1D or 2D).
+    Broadcast(BroadcastAlgorithm),
 }
 
 impl ChosenAlgorithm {
@@ -299,6 +326,7 @@ impl ChosenAlgorithm {
             Self::AllReduce1d(a) => a.name(),
             Self::Reduce2d(a) | Self::AllReduce2d(a) => a.name(),
             Self::Suite1d(a) => a.name(),
+            Self::Broadcast(a) => a.name(),
         }
     }
 }
@@ -367,6 +395,23 @@ pub fn choose_scatter_1d(p: u64, b: u64, machine: &Machine) -> Choice {
 /// The model's choice for a 1D All-to-All (single candidate: the rotation).
 pub fn choose_all_to_all_1d(p: u64, b: u64, machine: &Machine) -> Choice {
     suite_choice(Suite1dAlgorithm::RotateAllToAll, p, b, machine)
+}
+
+/// The model's choice for a 1D Broadcast (single candidate: the flood).
+pub fn choose_broadcast_1d(p: u64, b: u64, machine: &Machine) -> Choice {
+    Choice {
+        algorithm: ChosenAlgorithm::Broadcast(BroadcastAlgorithm::Flood1d),
+        predicted_cycles: costs_1d::broadcast(p, b).predict(machine),
+    }
+}
+
+/// The model's choice for a 2D Broadcast over an `m × n` grid (single
+/// candidate: the 2D flood).
+pub fn choose_broadcast_2d(m_rows: u64, n_cols: u64, b: u64, machine: &Machine) -> Choice {
+    Choice {
+        algorithm: ChosenAlgorithm::Broadcast(BroadcastAlgorithm::Flood2d),
+        predicted_cycles: costs_2d::broadcast_2d(m_rows, n_cols, b).predict(machine),
+    }
 }
 
 fn suite_choice(alg: Suite1dAlgorithm, p: u64, b: u64, machine: &Machine) -> Choice {
@@ -575,6 +620,29 @@ mod tests {
         let c = choose_allreduce_2d(8, 8, 64, &m);
         assert!(matches!(c.algorithm, ChosenAlgorithm::AllReduce2d(_)));
         assert!(c.predicted_cycles > 0.0);
+    }
+
+    #[test]
+    fn broadcast_choices_cover_both_topologies() {
+        let m = mach();
+        let c = choose_broadcast_1d(16, 256, &m);
+        assert!(matches!(c.algorithm, ChosenAlgorithm::Broadcast(BroadcastAlgorithm::Flood1d)));
+        assert_eq!(c.algorithm.name(), "Flood");
+        assert!(c.predicted_cycles > 0.0);
+
+        let c2 = choose_broadcast_2d(8, 8, 256, &m);
+        assert!(matches!(c2.algorithm, ChosenAlgorithm::Broadcast(BroadcastAlgorithm::Flood2d)));
+        assert_eq!(c2.algorithm.name(), "2D Flood");
+        // The flood costs about one message, so its runtime grows with the
+        // flood distance: a 16x16 grid (distance 30) beats a 1x256 line
+        // (distance 255).
+        let line = choose_broadcast_1d(256, 64, &m).predicted_cycles;
+        let grid = choose_broadcast_2d(16, 16, 64, &m).predicted_cycles;
+        assert!(grid < line, "grid flood {grid} should undercut line flood {line}");
+
+        // Degenerate single-PE broadcasts are free, not negative or NaN.
+        assert_eq!(choose_broadcast_1d(1, 64, &m).predicted_cycles, 0.0);
+        assert_eq!(choose_broadcast_2d(1, 1, 64, &m).predicted_cycles, 0.0);
     }
 
     #[test]

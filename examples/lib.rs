@@ -4,9 +4,10 @@
 //! API of the collectives library on scenarios from the paper's motivation:
 //! a quickstart, a distributed GEMV, a stencil solver's per-iteration
 //! AllReduce, model-driven autotuning, code generation, parallel batch
-//! execution (`batch_serving`), and the asynchronous serving front-end
+//! execution (`batch_serving`), the asynchronous serving front-end
 //! (`serving_loop`: submission queue, deadline/size batching, completion
-//! handles).
+//! handles), and multi-tenant admission control (`multi_tenant`: per-tenant
+//! cycle budgets, deferral, the predicted-cycle ceiling).
 
 use wse_collectives::prelude::*;
 

@@ -1,0 +1,181 @@
+//! Multi-tenant serving: two tenants with unequal cycle budgets share one
+//! `CollectiveService`, and the admission layer keeps the greedy one from
+//! crowding out the other.
+//!
+//! Demonstrates the model-driven admission controller on top of the
+//! serving front-end:
+//!
+//! 1. stand up a `CollectiveService` whose `AdmissionConfig` enables all
+//!    three policies: a per-request predicted-cycle ceiling, token-bucket
+//!    cycle budgets per tenant (generous for `alpha`, tight for `beta`),
+//!    and shortest-predicted-job-first batch formation under a per-batch
+//!    cycle cut,
+//! 2. submit identical rounds of traffic for both tenants with
+//!    `submit_as`; `beta`'s tight bucket runs dry mid-round, so its excess
+//!    requests are *deferred* — parked in a bounded side queue until the
+//!    bucket refills — rather than rejected,
+//! 3. submit one oversized all-to-all that the model prices above the
+//!    ceiling and show it failing fast at submit with
+//!    `CollectiveError::OverBudget` — no plan generated, no cycles spent,
+//! 4. wait on every handle, verify the answers, and print per-tenant
+//!    throughput, deferral counts and deferral waits (from each response's
+//!    `AdmissionInfo`), plus the service-wide admission counters.
+//!
+//! Run with `cargo run --release -p wse-examples --bin multi_tenant`
+//! (add `--quick` for the CI smoke configuration).
+
+use std::time::{Duration, Instant};
+
+use wse_collectives::prelude::*;
+use wse_examples::sample_vector;
+
+const ALPHA: TenantId = TenantId(1);
+const BETA: TenantId = TenantId(2);
+
+fn tenant_name(tenant: TenantId) -> &'static str {
+    if tenant == ALPHA {
+        "alpha"
+    } else {
+        "beta"
+    }
+}
+
+/// Per-tenant tallies accumulated from the responses.
+#[derive(Default)]
+struct Tally {
+    completed: u64,
+    deferred: u64,
+    total_wait: Duration,
+    max_wait: Duration,
+}
+
+fn main() {
+    let quick = std::env::args().skip(1).any(|a| a == "--quick");
+    let (rounds, per_tenant) = if quick { (4, 6) } else { (10, 8) };
+
+    // The shared workload: every request is the same mid-size reduction, so
+    // the only difference between the tenants is their budget.
+    let request = CollectiveRequest::reduce(Topology::line(16), 256);
+    let machine = Machine::wse2();
+    let cost =
+        request.predicted_cycles(&machine).expect("the example request is valid").ceil() as u64;
+
+    // 1. Unequal budgets. `alpha` can burst a whole round and refills far
+    //    faster than it submits; `beta` can burst two requests and refills
+    //    a few hundred request-costs per second, so each round pushes it
+    //    into deferral and the refill releases the backlog between rounds.
+    let alpha_budget = TenantBudget::new(cost * per_tenant as u64 * 2, cost as f64 * 2_000.0);
+    let beta_budget = TenantBudget::new(cost * 2, cost as f64 * 400.0);
+    let ceiling = cost * 400;
+    let admission = AdmissionConfig::disabled()
+        .with_max_predicted_cycles(ceiling)
+        .with_order(BatchOrder::ShortestPredictedFirst)
+        .with_max_batch_cycles(cost * 8)
+        .with_tenant_budget(ALPHA, alpha_budget)
+        .with_tenant_budget(BETA, beta_budget)
+        .with_deferred_capacity(128);
+    let service = CollectiveService::with_config(ServiceConfig {
+        queue_capacity: 128,
+        max_batch: 16,
+        max_wait: Duration::from_micros(200),
+        admission,
+        ..ServiceConfig::default()
+    });
+
+    println!("# Multi-tenant serving: {rounds} rounds x {per_tenant} requests per tenant");
+    println!("request cost (model): {cost} cycles");
+    println!(
+        "alpha budget: burst {} cycles, refill {:.0} cycles/s",
+        alpha_budget.burst_cycles, alpha_budget.refill_cycles_per_sec
+    );
+    println!(
+        "beta  budget: burst {} cycles, refill {:.0} cycles/s\n",
+        beta_budget.burst_cycles, beta_budget.refill_cycles_per_sec
+    );
+
+    // 2. Identical traffic for both tenants, round by round. The pause
+    //    between rounds is where `beta`'s bucket refills and the batcher
+    //    releases its deferred backlog in submission order.
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for round in 0..rounds {
+        for slot in 0..per_tenant {
+            for tenant in [ALPHA, BETA] {
+                let inputs: Vec<Vec<f32>> =
+                    (0..16).map(|pe| sample_vector(pe + round * 7919 + slot * 131, 256)).collect();
+                let handle = service
+                    .submit_as(request, inputs.clone(), tenant)
+                    .expect("budgeted submissions defer, they do not fail");
+                handles.push((tenant, inputs, handle));
+            }
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // 3. The ceiling: this all-to-all is priced far above the configured
+    //    per-request maximum, so admission rejects it before any plan is
+    //    generated or queued.
+    let oversized = CollectiveRequest::all_to_all(Topology::line(16), 65_520);
+    let oversized_inputs: Vec<Vec<f32>> = (0..16).map(|pe| sample_vector(pe, 65_520)).collect();
+    match service.submit_as(oversized, oversized_inputs, BETA) {
+        Err(CollectiveError::OverBudget { predicted, limit }) => {
+            println!("oversized all-to-all rejected at submit: predicted {predicted} cycles > limit {limit}\n");
+        }
+        other => panic!("expected OverBudget, got {other:?}"),
+    }
+
+    // 4. Collect the answers; every deferred response says how long it
+    //    waited for budget.
+    let mut tallies = [Tally::default(), Tally::default()];
+    for (tenant, inputs, handle) in handles {
+        let response = handle.wait();
+        let outcome = response.result.expect("every admitted request completes");
+        let expected = expected_reduce(&inputs, ReduceOp::Sum);
+        assert_outputs_close(&outcome, &expected, 1e-4);
+
+        let tally = &mut tallies[usize::from(tenant != ALPHA)];
+        tally.completed += 1;
+        let info = response.admission.expect("admission is active");
+        assert_eq!(info.tenant, tenant);
+        if let AdmissionOutcome::DeferredThenAdmitted { wait } = info.outcome {
+            tally.deferred += 1;
+            tally.total_wait += wait;
+            tally.max_wait = tally.max_wait.max(wait);
+        }
+    }
+    let elapsed = start.elapsed();
+
+    println!(
+        "{:>6} {:>10} {:>9} {:>13} {:>13} {:>13}",
+        "tenant", "completed", "deferred", "thruput(r/s)", "mean-wait(ms)", "max-wait(ms)"
+    );
+    for (tenant, tally) in [ALPHA, BETA].into_iter().zip(&tallies) {
+        let mean_wait = if tally.deferred > 0 {
+            tally.total_wait.as_secs_f64() * 1e3 / tally.deferred as f64
+        } else {
+            0.0
+        };
+        println!(
+            "{:>6} {:>10} {:>9} {:>13.1} {:>13.2} {:>13.2}",
+            tenant_name(tenant),
+            tally.completed,
+            tally.deferred,
+            tally.completed as f64 / elapsed.as_secs_f64().max(1e-9),
+            mean_wait,
+            tally.max_wait.as_secs_f64() * 1e3,
+        );
+    }
+
+    let stats = service.shutdown();
+    println!(
+        "\nservice counters: submitted {}, completed {}, deferred {}, over_budget {}, deferral_overflow {}",
+        stats.submitted, stats.completed, stats.deferred, stats.over_budget, stats.deferral_overflow
+    );
+
+    let expected = (rounds * per_tenant * 2) as u64;
+    assert_eq!(stats.completed, expected, "every admitted request completes");
+    assert_eq!(stats.over_budget, 1, "exactly the oversized request was rejected");
+    assert_eq!(tallies[0].deferred, 0, "alpha's budget never runs dry");
+    assert!(tallies[1].deferred > 0, "beta's tight budget must defer");
+    println!("\nall {expected} responses verified against the expected reduction");
+}

@@ -131,7 +131,108 @@ proptest! {
                 .map(|(s, n)| (s as u64 + 1) * n).sum::<u64>(),
             traffic.len() as u64
         );
+        // The default config has admission disabled: the plain PR 6 path,
+        // with no admission annotations on any response.
+        for response in &served {
+            prop_assert!(response.admission.is_none());
+        }
         assert_served_matches_session(&traffic, &served, session_config)?;
+    }
+
+    /// Acceptance criterion for cost-aware scheduling: with
+    /// shortest-predicted-first batches, per-batch cycle caps and (in some
+    /// cases) a tenant budget deferring traffic, each response is still
+    /// byte-identical to a sequential `Session` replaying the requests in
+    /// **admission order** — the order exposed by the stamped run indices.
+    #[test]
+    fn sjf_service_is_byte_identical_in_admission_order(
+        codes in proptest::collection::vec(0u32..16, 3..12),
+        p in 2u32..8,
+        max_batch in 1usize..6,
+        max_wait_us in 0u64..1200,
+        pause_every in 1usize..5,
+        pause_us in 0u64..400,
+        probability in 0.01f64..0.2,
+        seed in 0u64..1_000_000,
+        // Below 500 means "no cap" (the vendored proptest has no Option
+        // strategy); real caps range 500..50_000 predicted cycles.
+        cap_cycles in 0u64..50_000,
+        metered in proptest::bool::ANY,
+        shutdown_before_wait in proptest::bool::ANY,
+    ) {
+        let (config, session_config) = service_config(
+            max_batch,
+            Duration::from_micros(max_wait_us),
+            Some(NoiseModel::new(probability, seed)),
+        );
+        let mut admission = AdmissionConfig::disabled()
+            .with_order(BatchOrder::ShortestPredictedFirst);
+        if cap_cycles >= 500 {
+            admission = admission.with_max_batch_cycles(cap_cycles);
+        }
+        if metered {
+            // A fast-refilling budget: deferrals happen (admission order
+            // diverges from submission order) but release within
+            // milliseconds, so waiting on handles stays bounded.
+            admission = admission.with_default_budget(TenantBudget::new(20_000, 50_000_000.0));
+        }
+        let config = ServiceConfig { admission, ..config };
+        // Mix small and large items so SJF actually reorders.
+        let traffic: Vec<(CollectiveRequest, Vec<Vec<f32>>)> = codes
+            .iter()
+            .enumerate()
+            .map(|(i, &code)| {
+                let b = if i % 2 == 0 { 4 } else { 32 };
+                traffic_item(code, p + (i as u32 % 3), b)
+            })
+            .collect();
+
+        let service = CollectiveService::with_config(config);
+        let mut handles = Vec::with_capacity(traffic.len());
+        for (i, (request, inputs)) in traffic.iter().enumerate() {
+            let tenant = TenantId(i as u32 % 2);
+            handles.push(service.submit_as(*request, inputs.clone(), tenant).unwrap());
+            if pause_us > 0 && i % pause_every == pause_every - 1 {
+                std::thread::sleep(Duration::from_micros(pause_us));
+            }
+        }
+        if shutdown_before_wait {
+            service.shutdown();
+        }
+        let served: Vec<Response> = handles.into_iter().map(ResponseHandle::wait).collect();
+        let stats = service.shutdown();
+        prop_assert_eq!(stats.completed as usize, traffic.len());
+
+        // Reconstruct admission order from the stamped run indices: valid
+        // items hold exactly the indices 0..n in some order.
+        let mut executed: Vec<usize> = (0..served.len())
+            .filter(|&i| served[i].admission.expect("active admission annotates").run_index.is_some())
+            .collect();
+        executed.sort_by_key(|&i| served[i].admission.unwrap().run_index.unwrap());
+        for (rank, &i) in executed.iter().enumerate() {
+            prop_assert_eq!(served[i].admission.unwrap().run_index.unwrap(), rank as u64);
+        }
+
+        // Replay sequentially in admission order: executed items must match
+        // byte-for-byte; rejected items (no run index consumed on either
+        // path) must produce the same typed error.
+        let mut session = Session::with_config(session_config);
+        for &i in &executed {
+            let expected = session.run(&traffic[i].0, &traffic[i].1);
+            let expected = expected.as_ref().expect("stamped items execute cleanly");
+            let got = served[i].result.as_ref().expect("stamped items execute cleanly");
+            prop_assert!(got.report == expected.report, "item {}: reports diverge", i);
+            prop_assert!(got.outputs == expected.outputs, "item {}: outputs diverge", i);
+        }
+        for i in (0..served.len())
+            .filter(|&i| served[i].admission.unwrap().run_index.is_none())
+        {
+            let expected = session.run(&traffic[i].0, &traffic[i].1);
+            match (&served[i].result, &expected) {
+                (Err(got), Err(want)) => prop_assert!(got == want, "item {}: errors diverge", i),
+                _ => prop_assert!(false, "item {}: unstamped item did not error on both paths", i),
+            }
+        }
     }
 }
 
@@ -173,6 +274,40 @@ fn try_submit_backpressures_when_saturated() {
     let stats = service.shutdown();
     assert_eq!(stats.completed, stats.submitted);
     assert_eq!(stats.queue_depth, 0);
+}
+
+#[test]
+fn tenant_budget_refills_over_time_and_releases_the_deferral() {
+    let request = CollectiveRequest::reduce(Topology::line(6), 16);
+    let predicted = request.predicted_cycles(&Machine::wse2()).unwrap().ceil() as u64;
+    let tenant = TenantId(3);
+    // The bucket covers exactly one request and refills it in ~200 ms.
+    let service = CollectiveService::with_config(ServiceConfig {
+        admission: AdmissionConfig::disabled()
+            .with_tenant_budget(tenant, TenantBudget::new(predicted, predicted as f64 * 5.0)),
+        max_wait: Duration::from_micros(100),
+        ..ServiceConfig::default()
+    });
+    let first = service.submit_as(request, deterministic_inputs(6, 16), tenant).unwrap();
+    let second = service.submit_as(request, deterministic_inputs(6, 16), tenant).unwrap();
+    assert!(first.wait().result.is_ok());
+    // The deferred request must complete WITHOUT a shutdown drain: the
+    // refill alone releases it. The generous timeout only bounds a
+    // regression from hanging the suite.
+    let response = second
+        .wait_timeout(Duration::from_secs(30))
+        .expect("the budget refill releases the deferral without shutdown");
+    assert!(response.result.is_ok());
+    match response.admission.unwrap().outcome {
+        AdmissionOutcome::DeferredThenAdmitted { wait } => {
+            assert!(wait > Duration::ZERO, "the deferral wait is measured");
+        }
+        other => panic!("expected a deferred outcome, got {other:?}"),
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.deferred, 1);
+    assert_eq!(stats.completed, 2);
+    assert_eq!(stats.shutdown_flushes, 0, "the release beat the shutdown drain");
 }
 
 #[test]
